@@ -1,0 +1,58 @@
+// Command sfcost prices a network: routers, cables, total cost and power,
+// using the Section VI models.
+//
+// Usage:
+//
+//	sfcost -topo SF -n 10830
+//	sfcost -topo DF -n 9702 -cables sfp10g
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slimfly/internal/cost"
+	"slimfly/internal/layout"
+	"slimfly/internal/roster"
+	"slimfly/internal/topo"
+)
+
+func main() {
+	var (
+		kind   = flag.String("topo", "SF", "topology kind")
+		n      = flag.Int("n", 10830, "target endpoint count")
+		cables = flag.String("cables", "fdr10", "cable model: fdr10 sfp10g qdr56")
+		seed   = flag.Uint64("seed", 1, "seed for randomized topologies")
+	)
+	flag.Parse()
+
+	t, err := roster.Near(roster.Kind(*kind), *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfcost:", err)
+		os.Exit(1)
+	}
+	var m cost.Model
+	switch *cables {
+	case "fdr10":
+		m = cost.FDR10()
+	case "sfp10g":
+		m = cost.SFPPlus10G()
+	case "qdr56":
+		m = cost.QDR56()
+	default:
+		fmt.Fprintf(os.Stderr, "sfcost: unknown cable model %q\n", *cables)
+		os.Exit(2)
+	}
+
+	l := layout.For(t)
+	b := m.Network(t, l)
+	fmt.Println(topo.Summary(t))
+	fmt.Printf("racks:            %d\n", l.Racks)
+	fmt.Printf("electric cables:  %d (incl. %d endpoint uplinks)\n", b.Electric, l.EndpointCables)
+	fmt.Printf("fiber cables:     %d\n", b.Fiber)
+	fmt.Printf("router cost:      $%.0f\n", b.RouterCost)
+	fmt.Printf("cable cost:       $%.0f\n", b.CableCost)
+	fmt.Printf("total cost:       $%.0f  ($%.0f per endpoint)\n", b.Total, b.CostPerNode)
+	fmt.Printf("power:            %.0f W  (%.2f W per endpoint)\n", b.PowerWatts, b.PowerPerNode)
+}

@@ -1,0 +1,118 @@
+// Command sfexp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	sfexp -exp fig1|fig5a|fig5b|fig5c|table2|table3|diam-resil|apl-resil|
+//	          vc|fig6a|fig6b|fig6c|fig6d|fig8a|fig8be|cables|routers|
+//	          cost|power|table4|all
+//	      [-scale small|paper] [-seed N] [-samples N]
+//
+// Simulator-backed experiments (fig6*, fig8*) default to the small scale
+// (N ~ 1000); the paper reports that 1K-10K endpoint networks give results
+// within 10% of each other (Section V). Pass -scale paper for the full
+// 10K-endpoint runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slimfly/internal/cost"
+	"slimfly/internal/exp"
+)
+
+func main() {
+	var (
+		which   = flag.String("exp", "", "experiment id (see usage); 'all' runs everything")
+		scale   = flag.String("scale", "small", "simulation scale: tiny, small or paper")
+		seed    = flag.Uint64("seed", 1, "deterministic seed")
+		samples = flag.Int("samples", 24, "samples per resiliency point")
+		list    = flag.Bool("list", false, "list experiment ids")
+	)
+	flag.Parse()
+
+	ids := []string{
+		"fig1", "fig5a", "fig5b", "fig5c", "table2", "table3",
+		"diam-resil", "apl-resil", "vc", "fig6a", "fig6b", "fig6c", "fig6d",
+		"fig8a", "fig8be", "cables", "routers", "cost", "power", "table4", "extensions",
+	}
+	if *list {
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *which == "" {
+		fmt.Fprintln(os.Stderr, "sfexp: -exp required (use -list for ids)")
+		os.Exit(2)
+	}
+
+	sc := exp.SmallScale()
+	switch *scale {
+	case "paper":
+		sc = exp.PaperScale()
+	case "tiny":
+		sc = exp.TinyScale()
+	}
+
+	run := func(id string) {
+		switch id {
+		case "fig1":
+			fmt.Println(exp.Fig1(200, 5500, *seed))
+		case "fig5a":
+			fmt.Println(exp.Fig5a(100))
+		case "fig5b":
+			fmt.Println(exp.Fig5b(100))
+		case "fig5c":
+			fmt.Println(exp.Fig5c(200, 21000, *seed))
+		case "table2":
+			fmt.Println(exp.Table2(1000, *seed))
+		case "table3":
+			sizes := []int{256, 512, 1024, 2048}
+			if *scale == "paper" {
+				sizes = append(sizes, 4096, 8192)
+			}
+			fmt.Println(exp.Table3(sizes, *samples, *seed))
+		case "diam-resil":
+			fmt.Println(exp.DiamResil(1000, *samples, *seed))
+		case "apl-resil":
+			fmt.Println(exp.APLResil(1000, *samples, *seed))
+		case "vc":
+			fmt.Println(exp.VCCounts(*seed))
+		case "fig6a":
+			fmt.Println(exp.Fig6("uniform", sc, *seed))
+		case "fig6b":
+			fmt.Println(exp.Fig6("bitrev", sc, *seed))
+		case "fig6c":
+			fmt.Println(exp.Fig6("shift", sc, *seed))
+		case "fig6d":
+			fmt.Println(exp.Fig6("worstcase", sc, *seed))
+		case "fig8a":
+			fmt.Println(exp.Fig8a(sc, *seed))
+		case "fig8be":
+			fmt.Println(exp.Fig8be(sc, *seed))
+		case "cables":
+			fmt.Println(exp.CableModels())
+		case "routers":
+			fmt.Println(exp.RouterModels())
+		case "cost", "power":
+			fmt.Println(exp.CostPower(cost.FDR10(), 200, 42000, *seed))
+		case "table4":
+			fmt.Println(exp.Table4(*seed))
+		case "extensions":
+			fmt.Println(exp.Extensions(7, *seed))
+		default:
+			fmt.Fprintf(os.Stderr, "sfexp: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+	}
+
+	if *which == "all" {
+		for _, id := range ids {
+			run(id)
+		}
+		return
+	}
+	run(*which)
+}

@@ -1,0 +1,78 @@
+// Command sfgen constructs a topology and prints its structural properties
+// or exports its edge list.
+//
+// Usage:
+//
+//	sfgen -topo SF -n 10830            # balanced config near N endpoints
+//	sfgen -topo SF -q 19               # Slim Fly by field order
+//	sfgen -topo DF -n 9702 -edges      # dump router edge list
+//	sfgen -orders                      # list valid Slim Fly orders
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slimfly/internal/export"
+	"slimfly/internal/roster"
+	"slimfly/internal/topo"
+	"slimfly/internal/topo/slimfly"
+)
+
+func main() {
+	var (
+		kind   = flag.String("topo", "SF", "topology kind: SF DF FT-3 FBF-3 T3D T5D HC LH-HC DLN")
+		n      = flag.Int("n", 1000, "target endpoint count")
+		q      = flag.Int("q", 0, "Slim Fly field order (overrides -n for SF)")
+		seed   = flag.Uint64("seed", 1, "seed for randomized topologies")
+		edges  = flag.Bool("edges", false, "print the router edge list")
+		asJSON = flag.Bool("json", false, "print the full topology description as JSON")
+		orders = flag.Bool("orders", false, "list valid Slim Fly orders up to 128")
+	)
+	flag.Parse()
+
+	if *orders {
+		for _, qq := range slimfly.ValidOrders(3, 128) {
+			kp, nr, delta, _ := slimfly.Params(qq)
+			p := slimfly.BalancedConcentration(kp)
+			fmt.Printf("q=%-4d delta=%+d  k'=%-4d p=%-3d k=%-4d Nr=%-6d N=%d\n",
+				qq, delta, kp, p, kp+p, nr, p*nr)
+		}
+		return
+	}
+
+	var (
+		t   topo.Topology
+		err error
+	)
+	if *kind == "SF" && *q > 0 {
+		t, err = slimfly.New(*q)
+	} else {
+		t, err = roster.Near(roster.Kind(*kind), *n, *seed)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfgen:", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		if err := export.WriteJSON(os.Stdout, t); err != nil {
+			fmt.Fprintln(os.Stderr, "sfgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *edges {
+		for _, e := range t.Graph().Edges() {
+			fmt.Printf("%d %d\n", e.U, e.V)
+		}
+		return
+	}
+
+	fmt.Println(topo.Summary(t))
+	st := t.Graph().AllPairsStats()
+	fmt.Printf("measured: diameter=%d avg_router_distance=%.4f edges=%d connected=%v\n",
+		st.Diameter, st.AvgDist, t.Graph().EdgeCount(), st.Connected)
+}

@@ -1,0 +1,114 @@
+// Command sfsim runs a single network simulation and prints the result.
+//
+// Usage:
+//
+//	sfsim -topo SF -n 1000 -algo ugal-l -pattern uniform -load 0.5
+//	sfsim -topo SF -n 1000 -algo min -pattern worstcase -load 0.2 -sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"slimfly/internal/roster"
+	"slimfly/internal/route"
+	"slimfly/internal/sim"
+	"slimfly/internal/topo"
+	"slimfly/internal/topo/fattree"
+	"slimfly/internal/topo/slimfly"
+	"slimfly/internal/traffic"
+)
+
+func main() {
+	var (
+		kind    = flag.String("topo", "SF", "topology kind")
+		n       = flag.Int("n", 1000, "target endpoint count")
+		algo    = flag.String("algo", "min", "routing: min val ugal-l ugal-g anca")
+		pattern = flag.String("pattern", "uniform", "traffic: uniform shuffle bitrev bitcomp shift worstcase")
+		load    = flag.Float64("load", 0.5, "offered load per endpoint")
+		sweep   = flag.Bool("sweep", false, "sweep loads 0.1..0.9 instead of a single point")
+		warmup  = flag.Int("warmup", 2000, "warmup cycles")
+		measure = flag.Int("measure", 5000, "measured cycles")
+		bufSize = flag.Int("buf", 64, "flit buffering per port")
+		vcs     = flag.Int("vcs", 3, "virtual channels")
+		seed    = flag.Uint64("seed", 1, "seed")
+	)
+	flag.Parse()
+
+	t, err := roster.Near(roster.Kind(*kind), *n, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sfsim:", err)
+		os.Exit(1)
+	}
+	tb := route.Build(t.Graph())
+
+	var a sim.Algo
+	switch *algo {
+	case "min":
+		a = sim.MIN{}
+	case "val":
+		a = sim.VAL{}
+	case "ugal-l":
+		a = sim.UGALL{}
+	case "ugal-g":
+		a = sim.UGALG{}
+	case "anca":
+		ft, ok := t.(*fattree.FatTree)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "sfsim: anca requires -topo FT-3")
+			os.Exit(2)
+		}
+		a = sim.FTANCA{FT: ft}
+	default:
+		fmt.Fprintf(os.Stderr, "sfsim: unknown algo %q\n", *algo)
+		os.Exit(2)
+	}
+
+	var p traffic.Pattern
+	switch *pattern {
+	case "uniform":
+		p = traffic.Uniform{N: t.Endpoints()}
+	case "shuffle":
+		p = traffic.Shuffle(t.Endpoints())
+	case "bitrev":
+		p = traffic.BitReversal(t.Endpoints())
+	case "bitcomp":
+		p = traffic.BitComplement(t.Endpoints())
+	case "shift":
+		p = traffic.Shift{N: t.Endpoints()}
+	case "worstcase":
+		switch tt := t.(type) {
+		case *slimfly.SlimFly:
+			p = traffic.WorstCaseSF(tt, tb, *seed)
+		case *fattree.FatTree:
+			p = traffic.WorstCaseFT(tt.Arity, tt)
+		default:
+			fmt.Fprintln(os.Stderr, "sfsim: worstcase supported for SF and FT-3")
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "sfsim: unknown pattern %q\n", *pattern)
+		os.Exit(2)
+	}
+
+	fmt.Println(topo.Summary(t))
+	loads := []float64{*load}
+	if *sweep {
+		loads = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	}
+	fmt.Printf("%-6s %-12s %-10s %-9s %-9s\n", "load", "avg_latency", "accepted", "avg_hops", "saturated")
+	for _, l := range loads {
+		s, err := sim.New(sim.Config{
+			Topo: t, Tables: tb, Algo: a, Pattern: p, Load: l,
+			NumVCs: *vcs, BufPerPort: *bufSize,
+			Warmup: *warmup, Measure: *measure, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfsim:", err)
+			os.Exit(1)
+		}
+		r := s.Run()
+		fmt.Printf("%-6.2f %-12.2f %-10.4f %-9.3f %-9v\n", l, r.AvgLatency, r.Accepted, r.AvgHops, r.Saturated)
+	}
+}

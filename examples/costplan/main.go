@@ -1,0 +1,51 @@
+// Costplan: plan a ~10K-endpoint datacenter network -- physical layout,
+// cable inventory, capital cost and power -- for every candidate topology,
+// reproducing the Section VI decision the paper argues for.
+package main
+
+import (
+	"fmt"
+	"sort"
+
+	"slimfly/internal/cost"
+	"slimfly/internal/layout"
+	"slimfly/internal/roster"
+	"slimfly/internal/topo"
+)
+
+func main() {
+	const target = 10500
+	m := cost.FDR10()
+
+	type plan struct {
+		kind string
+		b    cost.Breakdown
+		l    layout.Layout
+		t    topo.Topology
+	}
+	var plans []plan
+	for _, kind := range roster.Kinds() {
+		t, err := roster.Near(kind, target, 1)
+		if err != nil {
+			continue
+		}
+		l := layout.For(t)
+		plans = append(plans, plan{string(kind), m.Network(t, l), l, t})
+	}
+	sort.Slice(plans, func(i, j int) bool { return plans[i].b.CostPerNode < plans[j].b.CostPerNode })
+
+	fmt.Printf("Datacenter plan for ~%d endpoints (IB FDR10 40G):\n\n", target)
+	fmt.Printf("%-7s %-7s %-8s %-6s %-6s %-9s %-9s %-10s %-8s\n",
+		"topo", "N", "routers", "radix", "racks", "electric", "fiber", "$/node", "W/node")
+	for _, p := range plans {
+		fmt.Printf("%-7s %-7d %-8d %-6d %-6d %-9d %-9d %-10.0f %-8.2f\n",
+			p.kind, p.b.Endpoints, p.b.Routers, p.b.Radix, p.l.Racks,
+			p.b.Electric, p.b.Fiber, p.b.CostPerNode, p.b.PowerPerNode)
+	}
+
+	best := plans[0]
+	fmt.Printf("\nCheapest per endpoint: %s at $%.0f/node and %.2f W/node.\n",
+		best.kind, best.b.CostPerNode, best.b.PowerPerNode)
+	fmt.Printf("Total for %d endpoints: $%.1fM capital, %.0f kW network power.\n",
+		best.b.Endpoints, best.b.Total/1e6, best.b.PowerWatts/1e3)
+}

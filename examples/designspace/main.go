@@ -1,0 +1,37 @@
+// Designspace: sweep the Slim Fly configuration library and compare every
+// topology class against the Moore bound and each other -- the analysis
+// behind Figures 1 and 5 of the paper.
+package main
+
+import (
+	"fmt"
+
+	"slimfly/internal/exp"
+	"slimfly/internal/moore"
+	"slimfly/internal/roster"
+	"slimfly/internal/topo/slimfly"
+)
+
+func main() {
+	fmt.Println("Slim Fly design space (balanced configurations):")
+	fmt.Printf("%-5s %-5s %-5s %-5s %-8s %-8s %-10s\n", "q", "k'", "p", "k", "routers", "N", "MB2 frac")
+	for _, q := range slimfly.ValidOrders(3, 64) {
+		kp, nr, _, _ := slimfly.Params(q)
+		p := slimfly.BalancedConcentration(kp)
+		fmt.Printf("%-5d %-5d %-5d %-5d %-8d %-8d %.1f%%\n",
+			q, kp, p, kp+p, nr, p*nr, 100*moore.Fraction(nr, kp, 2))
+	}
+
+	fmt.Println("\nAverage hops at N ~ 2000 (Figure 1 cross-section):")
+	for _, kind := range roster.Kinds() {
+		tp, err := roster.Near(kind, 2000, 1)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %-6s N=%-6d avg router hops = %.3f (design D = %d)\n",
+			kind, tp.Endpoints(), exp.AvgEndpointHops(tp), tp.DesignDiameter())
+	}
+
+	fmt.Println("\nDiameter-3 constructions vs Moore bound (Figure 5b cross-section):")
+	fmt.Println(exp.Fig5b(40))
+}

@@ -1,0 +1,36 @@
+// Quickstart: build a Slim Fly, inspect its structure, and verify the
+// paper's headline properties (diameter 2, near-Moore-bound router count,
+// balanced concentration).
+package main
+
+import (
+	"fmt"
+
+	"slimfly/internal/moore"
+	"slimfly/internal/topo"
+	"slimfly/internal/topo/slimfly"
+)
+
+func main() {
+	// The Hoffman-Singleton Slim Fly: q = 5, 50 routers, 200 endpoints.
+	sf := slimfly.MustNew(5)
+	fmt.Println(topo.Summary(sf))
+	fmt.Printf("generator sets: X=%v X'=%v (xi=%d)\n", sf.X, sf.Xp, sf.F.PrimitiveElement())
+
+	st := sf.Graph().AllPairsStats()
+	fmt.Printf("measured diameter: %d, average router distance: %.3f\n", st.Diameter, st.AvgDist)
+	fmt.Printf("Moore bound for k'=%d, D=2: %d routers; SF reaches %d (%.0f%%)\n",
+		sf.NetworkRadix(), moore.Bound2(sf.NetworkRadix()), sf.Routers(),
+		100*moore.Fraction(sf.Routers(), sf.NetworkRadix(), 2))
+
+	// The paper's 10K-endpoint configuration.
+	big := slimfly.MustNew(19)
+	fmt.Println(topo.Summary(big))
+	fmt.Printf("library of valid orders up to 64: %v\n", slimfly.ValidOrders(3, 64))
+
+	// Which Slim Fly fits a 48-port router?
+	if q, ok := slimfly.ForRadix(48); ok {
+		fit := slimfly.MustNew(q)
+		fmt.Printf("largest SF for 48-port routers: q=%d with N=%d endpoints\n", q, fit.Endpoints())
+	}
+}

@@ -1,0 +1,52 @@
+// Simulate: run the cycle-based simulator on a Slim Fly versus a Dragonfly
+// under uniform and adversarial traffic -- a miniature of Figures 6a/6d.
+package main
+
+import (
+	"fmt"
+
+	"slimfly/internal/roster"
+	"slimfly/internal/route"
+	"slimfly/internal/sim"
+	"slimfly/internal/topo"
+	"slimfly/internal/topo/slimfly"
+	"slimfly/internal/traffic"
+)
+
+func main() {
+	sf := roster.MustNear(roster.SF, 600, 1).(*slimfly.SlimFly)
+	df := roster.MustNear(roster.DF, 600, 1)
+	sfTb := route.Build(sf.Graph())
+	dfTb := route.Build(df.Graph())
+
+	fmt.Println(topo.Summary(sf))
+	fmt.Println(topo.Summary(df))
+
+	row := func(label string, t topo.Topology, tb *route.Tables, a sim.Algo, p traffic.Pattern, load float64) {
+		s, err := sim.New(sim.Config{
+			Topo: t, Tables: tb, Algo: a, Pattern: p, Load: load,
+			Warmup: 1500, Measure: 3000, Seed: 7,
+		})
+		if err != nil {
+			panic(err)
+		}
+		r := s.Run()
+		fmt.Printf("  %-22s load=%.2f  latency=%7.2f  accepted=%.3f  hops=%.2f\n",
+			label, load, r.AvgLatency, r.Accepted, r.AvgHops)
+	}
+
+	fmt.Println("\nUniform random traffic (Figure 6a):")
+	for _, load := range []float64{0.2, 0.5, 0.8} {
+		row("SF MIN", sf, sfTb, sim.MIN{}, traffic.Uniform{N: sf.Endpoints()}, load)
+		row("SF UGAL-L", sf, sfTb, sim.UGALL{}, traffic.Uniform{N: sf.Endpoints()}, load)
+		row("DF UGAL-L", df, dfTb, sim.UGALL{}, traffic.Uniform{N: df.Endpoints()}, load)
+	}
+
+	fmt.Println("\nWorst-case adversarial traffic (Figure 6d):")
+	wc := traffic.WorstCaseSF(sf, sfTb, 3)
+	for _, load := range []float64{0.1, 0.3, 0.45} {
+		row("SF MIN (collapses)", sf, sfTb, sim.MIN{}, wc, load)
+		row("SF VAL", sf, sfTb, sim.VAL{}, wc, load)
+		row("SF UGAL-G", sf, sfTb, sim.UGALG{}, wc, load)
+	}
+}

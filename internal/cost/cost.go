@@ -1,0 +1,136 @@
+// Package cost implements the cost and energy models of Sections VI-B and
+// VI-C: linear cable-cost fits (electric and optical, in $/Gb/s as a
+// function of length), a linear router-cost fit over radix, and a SerDes
+// power model (4 lanes per port, 0.7 W per SerDes).
+package cost
+
+import (
+	"slimfly/internal/layout"
+	"slimfly/internal/topo"
+)
+
+// Model holds the fitted coefficients. The defaults reproduce the paper's
+// Mellanox InfiniBand FDR10 40 Gb/s numbers (Figure 13a/13b):
+//
+//	electric cable:  0.4079*L + 0.5771  [$/Gb/s]
+//	optical cable:   0.0919*L + 2.7452  [$/Gb/s]
+//	router:          350.4*k - 892.3    [$]
+//	power:           4 lanes/port * 0.7 W/SerDes = 2.8 W per port
+type Model struct {
+	ElectricSlope, ElectricBase float64 // $/Gb/s per metre, base
+	OpticSlope, OpticBase       float64
+	RouterSlope, RouterBase     float64 // $ per port, base
+	LinkGbps                    float64
+	WattsPerPort                float64
+}
+
+// FDR10 returns the paper's default model (IB FDR10 cables + routers).
+func FDR10() Model {
+	return Model{
+		ElectricSlope: 0.4079, ElectricBase: 0.5771,
+		OpticSlope: 0.0919, OpticBase: 2.7452,
+		RouterSlope: 350.4, RouterBase: -892.3,
+		LinkGbps:     40,
+		WattsPerPort: 2.8,
+	}
+}
+
+// SFPPlus10G returns the Elpeus Ethernet 10 Gb/s SFP+ cable variant
+// (Figure 12); routers remain IB FDR10 as in the paper.
+func SFPPlus10G() Model {
+	m := FDR10()
+	// Steeper electric pricing, cheaper optics base, 10 Gb/s links; the
+	// paper reports the relative topology ranking shifts by only ~1-2%.
+	m.ElectricSlope, m.ElectricBase = 0.9, 1.2
+	m.OpticSlope, m.OpticBase = 0.16, 4.5
+	m.LinkGbps = 10
+	return m
+}
+
+// QDR56 returns the Mellanox IB QDR 56 Gb/s QSFP cable variant (Figure 13).
+func QDR56() Model {
+	m := FDR10()
+	m.ElectricSlope, m.ElectricBase = 0.3, 0.45
+	m.OpticSlope, m.OpticBase = 0.07, 2.1
+	m.LinkGbps = 56
+	return m
+}
+
+// ElectricCableCost returns the dollar cost of one electric cable of the
+// given length.
+func (m Model) ElectricCableCost(length float64) float64 {
+	return (m.ElectricSlope*length + m.ElectricBase) * m.LinkGbps
+}
+
+// OpticCableCost returns the dollar cost of one optical cable.
+func (m Model) OpticCableCost(length float64) float64 {
+	return (m.OpticSlope*length + m.OpticBase) * m.LinkGbps
+}
+
+// RouterCost returns the dollar cost of one radix-k router.
+func (m Model) RouterCost(k int) float64 {
+	c := m.RouterSlope*float64(k) + m.RouterBase
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// Breakdown itemises a network's capital cost and power.
+type Breakdown struct {
+	RouterCost   float64
+	CableCost    float64
+	Total        float64
+	CostPerNode  float64
+	PowerWatts   float64
+	PowerPerNode float64
+	Electric     int
+	Fiber        int
+	Routers      int
+	Endpoints    int
+	Radix        int
+}
+
+// Network prices a topology under its layout. Router radix is the number
+// of ports actually in use (network degree plus attached endpoints),
+// priced at the maximum over routers (a homogeneous part is bought for
+// all).
+func (m Model) Network(t topo.Topology, l layout.Layout) Breakdown {
+	b := Breakdown{
+		Routers:   t.Routers(),
+		Endpoints: t.Endpoints(),
+		Electric:  l.Electric() + l.EndpointCables,
+		Fiber:     l.Fiber(),
+	}
+	g := t.Graph()
+	k := 0
+	usedPorts := 0
+	for r := 0; r < t.Routers(); r++ {
+		ports := g.Degree(r) + len(t.RouterEndpoints(r))
+		usedPorts += ports
+		if ports > k {
+			k = ports
+		}
+	}
+	b.Radix = k
+	b.RouterCost = float64(t.Routers()) * m.RouterCost(k)
+	for _, c := range l.Cables {
+		if c.Fiber {
+			b.CableCost += m.OpticCableCost(c.Length)
+		} else {
+			b.CableCost += m.ElectricCableCost(c.Length)
+		}
+	}
+	b.CableCost += float64(l.EndpointCables) * m.ElectricCableCost(intraRack)
+	b.Total = b.RouterCost + b.CableCost
+	// Power: one SerDes per lane on every used port (Section VI-C).
+	b.PowerWatts = float64(usedPorts) * m.WattsPerPort
+	if t.Endpoints() > 0 {
+		b.CostPerNode = b.Total / float64(t.Endpoints())
+		b.PowerPerNode = b.PowerWatts / float64(t.Endpoints())
+	}
+	return b
+}
+
+// intraRack is the endpoint uplink length in metres.
+const intraRack = 1.0

@@ -1,0 +1,57 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+
+	"slimfly/internal/cost"
+	"slimfly/internal/layout"
+	"slimfly/internal/topo/sfdf"
+	"slimfly/internal/topo/slimfly"
+)
+
+// Extensions reproduces the Section VII discussion points as measurements:
+//
+//   - VII-A: random shortcut channels on spare ports -- average distance
+//     and cost impact for 1..extra added channels per router;
+//   - VII-B: Dragonfly with Slim Fly groups -- diameter and radix versus
+//     a classic Dragonfly of equal group count;
+//   - IX: expander structure -- the non-trivial spectral radius against
+//     the Ramanujan bound.
+func Extensions(q int, seed uint64) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Section VII extensions (base SF q=%d)", q),
+		Columns: []string{"variant", "routers", "k'", "avg_dist", "diameter", "cost_per_node"},
+	}
+	m := cost.FDR10()
+	base := slimfly.MustNew(q)
+	bs := base.Graph().AllPairsStats()
+	bb := m.Network(base, layout.For(base))
+	t.Add("SF", base.Routers(), base.NetworkRadix(), bs.AvgDist, bs.Diameter, bb.CostPerNode)
+
+	for _, extra := range []int{2, 4, 8} {
+		aug, err := slimfly.NewWithRandomShortcuts(q, extra, seed)
+		if err != nil {
+			continue
+		}
+		as := aug.Graph().AllPairsStats()
+		ab := m.Network(aug, layout.For(aug))
+		t.Add(fmt.Sprintf("SF+rand%d", extra), aug.Routers(), aug.NetworkRadix(),
+			as.AvgDist, as.Diameter, ab.CostPerNode)
+	}
+
+	// SF-grouped Dragonfly with as many groups as one router's global
+	// channel budget allows at h = 1.
+	groups := 9
+	if s, err := sfdf.New(q, groups, 1, 0); err == nil {
+		ss := s.Graph().AllPairsStats()
+		sb := m.Network(s, layout.For(s))
+		t.Add(fmt.Sprintf("SF-DF(%dg)", groups), s.Routers(), s.NetworkRadix(),
+			ss.AvgDist, ss.Diameter, sb.CostPerNode)
+	}
+
+	lam := base.SpectralGap(300)
+	ram := 2 * math.Sqrt(float64(base.NetworkRadix()-1))
+	t.Add(fmt.Sprintf("spectrum: lambda2=%.2f ramanujan=%.2f", lam, ram), "", "", "", "", "")
+	return t
+}

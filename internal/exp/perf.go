@@ -1,0 +1,267 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"slimfly/internal/roster"
+	"slimfly/internal/route"
+	"slimfly/internal/sim"
+	"slimfly/internal/topo"
+	"slimfly/internal/topo/fattree"
+	"slimfly/internal/topo/slimfly"
+	"slimfly/internal/traffic"
+)
+
+// PerfScale controls the size and simulation windows of the Figure 6/8
+// experiments. The paper states N = 1K..10K give results within 10% of
+// each other (Section V), so Small is the default regeneration scale.
+type PerfScale struct {
+	TargetN int
+	Warmup  int
+	Measure int
+	Drain   int
+	Loads   []float64
+}
+
+// SmallScale is the fast regeneration configuration (N ~ 1K).
+func SmallScale() PerfScale {
+	return PerfScale{
+		TargetN: 1000, Warmup: 2000, Measure: 4000, Drain: 30000,
+		Loads: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+	}
+}
+
+// TinyScale is the single-core-friendly configuration (N ~ 600, coarse
+// load grid); useful on constrained machines and in CI.
+func TinyScale() PerfScale {
+	return PerfScale{
+		TargetN: 600, Warmup: 800, Measure: 2000, Drain: 12000,
+		Loads: []float64{0.1, 0.3, 0.5, 0.7, 0.9},
+	}
+}
+
+// PaperScale is the full 10K-endpoint configuration of Section V.
+func PaperScale() PerfScale {
+	return PerfScale{
+		TargetN: 10500, Warmup: 5000, Measure: 10000, Drain: 60000,
+		Loads: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9},
+	}
+}
+
+// perfNetworks bundles the three compared systems of Section V.
+type perfNetworks struct {
+	sf   *slimfly.SlimFly
+	df   topo.Topology
+	ft   *fattree.FatTree
+	sfTb *route.Tables
+	dfTb *route.Tables
+	ftTb *route.Tables
+}
+
+func buildPerfNetworks(sc PerfScale, seed uint64) perfNetworks {
+	sf := roster.MustNear(roster.SF, sc.TargetN, seed).(*slimfly.SlimFly)
+	df := roster.MustNear(roster.DF, sc.TargetN, seed)
+	ft := roster.MustNear(roster.FT3, sc.TargetN, seed).(*fattree.FatTree)
+	return perfNetworks{
+		sf: sf, df: df, ft: ft,
+		sfTb: route.Build(sf.Graph()),
+		dfTb: route.Build(df.Graph()),
+		ftTb: route.Build(ft.Graph()),
+	}
+}
+
+type runSpec struct {
+	label   string
+	tp      topo.Topology
+	tb      *route.Tables
+	algo    sim.Algo
+	pattern traffic.Pattern
+	load    float64
+}
+
+// runAll executes the specs in parallel (each simulation is
+// single-threaded and deterministic) and returns results in order.
+func runAll(specs []runSpec, sc PerfScale, seed uint64) []sim.Result {
+	results := make([]sim.Result, len(specs))
+	nw := runtime.GOMAXPROCS(0)
+	if nw > len(specs) {
+		nw = len(specs)
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				s, err := sim.New(sim.Config{
+					Topo: specs[i].tp, Tables: specs[i].tb, Algo: specs[i].algo,
+					Pattern: specs[i].pattern, Load: specs[i].load,
+					Warmup: sc.Warmup, Measure: sc.Measure, Drain: sc.Drain,
+					Seed: seed + uint64(i)*7919,
+				})
+				if err != nil {
+					panic(err)
+				}
+				results[i] = s.Run()
+			}
+		}()
+	}
+	for i := range specs {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return results
+}
+
+// patternFor builds the per-topology traffic pattern for a Figure 6
+// subfigure.
+func (p *perfNetworks) patternFor(name string, tp topo.Topology, tb *route.Tables, seed uint64) traffic.Pattern {
+	n := tp.Endpoints()
+	switch name {
+	case "uniform":
+		return traffic.Uniform{N: n}
+	case "bitrev":
+		return traffic.BitReversal(n)
+	case "shuffle":
+		return traffic.Shuffle(n)
+	case "bitcomp":
+		return traffic.BitComplement(n)
+	case "shift":
+		return traffic.Shift{N: n}
+	case "worstcase":
+		switch t := tp.(type) {
+		case *slimfly.SlimFly:
+			return traffic.WorstCaseSF(t, tb, seed)
+		case *fattree.FatTree:
+			return traffic.WorstCaseFT(t.Arity, t)
+		default:
+			if df, ok := tp.(interface{ Group(int) int }); ok {
+				groups := tp.Routers() / groupSize(tp)
+				return traffic.WorstCaseDF(df.Group, tp, groups)
+			}
+			return traffic.Uniform{N: n}
+		}
+	default:
+		return traffic.Uniform{N: n}
+	}
+}
+
+func groupSize(tp topo.Topology) int {
+	type hasA interface{ Group(int) int }
+	a, _ := tp.(hasA)
+	if a == nil {
+		return 1
+	}
+	// Routers per group = index where group changes.
+	for r := 1; r < tp.Routers(); r++ {
+		if a.Group(r) != 0 {
+			return r
+		}
+	}
+	return tp.Routers()
+}
+
+// Fig6 reproduces one subfigure of Figure 6 (a: uniform, b: bitrev,
+// c: shift, d: worstcase): latency and accepted throughput versus offered
+// load for SF-MIN, SF-VAL, SF-UGAL-L, SF-UGAL-G, DF-UGAL-L and FT-ANCA.
+func Fig6(pattern string, sc PerfScale, seed uint64) *Table {
+	nets := buildPerfNetworks(sc, seed)
+	t := &Table{
+		Title: fmt.Sprintf("Figure 6 (%s): latency vs offered load [SF N=%d, DF N=%d, FT N=%d]",
+			pattern, nets.sf.Endpoints(), nets.df.Endpoints(), nets.ft.Endpoints()),
+		Columns: []string{"protocol", "load", "avg_latency", "accepted", "avg_hops", "saturated"},
+	}
+	var specs []runSpec
+	for _, load := range sc.Loads {
+		specs = append(specs,
+			runSpec{"SF-MIN", nets.sf, nets.sfTb, sim.MIN{}, nets.patternFor(pattern, nets.sf, nets.sfTb, seed), load},
+			runSpec{"SF-VAL", nets.sf, nets.sfTb, sim.VAL{}, nets.patternFor(pattern, nets.sf, nets.sfTb, seed), load},
+			runSpec{"SF-UGAL-L", nets.sf, nets.sfTb, sim.UGALL{}, nets.patternFor(pattern, nets.sf, nets.sfTb, seed), load},
+			runSpec{"SF-UGAL-G", nets.sf, nets.sfTb, sim.UGALG{}, nets.patternFor(pattern, nets.sf, nets.sfTb, seed), load},
+			runSpec{"DF-UGAL-L", nets.df, nets.dfTb, sim.UGALL{}, nets.patternFor(pattern, nets.df, nets.dfTb, seed), load},
+			runSpec{"FT-ANCA", nets.ft, nets.ftTb, sim.FTANCA{FT: nets.ft}, nets.patternFor(pattern, nets.ft, nets.ftTb, seed), load},
+		)
+	}
+	results := runAll(specs, sc, seed)
+	for i, r := range results {
+		t.Add(specs[i].label, specs[i].load, r.AvgLatency, r.Accepted, r.AvgHops, r.Saturated)
+	}
+	return t
+}
+
+// Fig8a reproduces Figure 8a: the influence of input buffer size (8..256
+// flits per port) on worst-case traffic latency, SF with UGAL-L.
+func Fig8a(sc PerfScale, seed uint64) *Table {
+	sf := roster.MustNear(roster.SF, sc.TargetN, seed).(*slimfly.SlimFly)
+	tb := route.Build(sf.Graph())
+	wc := traffic.WorstCaseSF(sf, tb, seed)
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 8a: buffer-size study (worst-case traffic, SF N=%d, UGAL-L)", sf.Endpoints()),
+		Columns: []string{"buffer_flits", "load", "avg_latency", "accepted"},
+	}
+	for _, buf := range []int{9, 18, 33, 63, 129, 255} { // ~8..256, multiples of 3 VCs
+		for _, load := range []float64{0.25, 0.3, 0.35, 0.4, 0.45, 0.5} {
+			s, err := sim.New(sim.Config{
+				Topo: sf, Tables: tb, Algo: sim.UGALL{}, Pattern: wc, Load: load,
+				BufPerPort: buf, Warmup: sc.Warmup, Measure: sc.Measure, Drain: sc.Drain,
+				Seed: seed,
+			})
+			if err != nil {
+				panic(err)
+			}
+			r := s.Run()
+			t.Add(buf, load, r.AvgLatency, r.Accepted)
+		}
+	}
+	return t
+}
+
+// Fig8be reproduces Figures 8b-8e: oversubscribed Slim Flies (p = 16 and
+// p = 18 on the chosen q) under uniform and worst-case traffic, all four
+// routing protocols.
+func Fig8be(sc PerfScale, seed uint64) *Table {
+	base := roster.MustNear(roster.SF, sc.TargetN, seed).(*slimfly.SlimFly)
+	q := base.Q
+	balanced := base.Concentration()
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 8b-e: oversubscribed SF (q=%d, balanced p=%d)", q, balanced),
+		Columns: []string{"p", "pattern", "protocol", "load", "avg_latency", "accepted"},
+	}
+	// The paper studies p = 16 and 18 on q = 19 (balanced p = 15); scale
+	// the over-subscription proportionally for other q.
+	overs := []int{balanced + 1, balanced + 3}
+	algos := []sim.Algo{sim.MIN{}, sim.VAL{}, sim.UGALL{}, sim.UGALG{}}
+	for _, p := range overs {
+		sf, err := slimfly.NewWithConcentration(q, p)
+		if err != nil {
+			panic(err)
+		}
+		tb := route.Build(sf.Graph())
+		for _, pat := range []string{"uniform", "worstcase"} {
+			var pattern traffic.Pattern = traffic.Uniform{N: sf.Endpoints()}
+			loads := []float64{0.2, 0.4, 0.6, 0.8}
+			if pat == "worstcase" {
+				pattern = traffic.WorstCaseSF(sf, tb, seed)
+				loads = []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+			}
+			for _, a := range algos {
+				for _, load := range loads {
+					s, err := sim.New(sim.Config{
+						Topo: sf, Tables: tb, Algo: a, Pattern: pattern, Load: load,
+						Warmup: sc.Warmup, Measure: sc.Measure, Drain: sc.Drain, Seed: seed,
+					})
+					if err != nil {
+						panic(err)
+					}
+					r := s.Run()
+					t.Add(p, pat, a.Name(), load, r.AvgLatency, r.Accepted)
+				}
+			}
+		}
+	}
+	return t
+}

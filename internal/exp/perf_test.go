@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+)
+
+// microScale keeps the simulator-backed runners fast enough for go test.
+func microScale() PerfScale {
+	return PerfScale{
+		TargetN: 220, Warmup: 200, Measure: 600, Drain: 3000,
+		Loads: []float64{0.2, 0.6},
+	}
+}
+
+func TestFig6UniformMicro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-backed; skipped in -short")
+	}
+	tb := Fig6("uniform", microScale(), 21)
+	if len(tb.Rows) != 12 { // 6 protocols x 2 loads
+		t.Fatalf("rows = %d, want 12", len(tb.Rows))
+	}
+	lat := map[string]float64{}
+	for _, r := range tb.Rows {
+		if r[1] == "0.200" {
+			v, err := strconv.ParseFloat(r[2], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lat[r[0]] = v
+		}
+	}
+	// Figure 6a's low-load ordering: SF-MIN below SF-VAL and below
+	// FT-ANCA (the diameter-2 advantage).
+	if lat["SF-MIN"] >= lat["SF-VAL"] {
+		t.Errorf("SF-MIN latency %v >= SF-VAL %v at low load", lat["SF-MIN"], lat["SF-VAL"])
+	}
+	if lat["SF-MIN"] >= lat["FT-ANCA"] {
+		t.Errorf("SF-MIN latency %v >= FT-ANCA %v at low load", lat["SF-MIN"], lat["FT-ANCA"])
+	}
+}
+
+func TestFig6WorstCaseMicro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-backed; skipped in -short")
+	}
+	tb := Fig6("worstcase", microScale(), 22)
+	acc := map[string]float64{}
+	for _, r := range tb.Rows {
+		if r[1] == "0.600" {
+			v, err := strconv.ParseFloat(r[3], 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			acc[r[0]] = v
+		}
+	}
+	// Figure 6d: adversarial traffic collapses SF-MIN far below the
+	// adaptive protocols.
+	if acc["SF-MIN"] >= acc["SF-UGAL-G"] {
+		t.Errorf("SF-MIN accepted %v >= SF-UGAL-G %v on worst case", acc["SF-MIN"], acc["SF-UGAL-G"])
+	}
+	if acc["SF-MIN"] >= acc["SF-VAL"] {
+		t.Errorf("SF-MIN accepted %v >= SF-VAL %v on worst case", acc["SF-MIN"], acc["SF-VAL"])
+	}
+}
+
+func TestFig8aMicro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-backed; skipped in -short")
+	}
+	tb := Fig8a(microScale(), 23)
+	if len(tb.Rows) != 36 { // 6 buffer sizes x 6 loads
+		t.Fatalf("rows = %d, want 36", len(tb.Rows))
+	}
+}
+
+func TestFig8beMicro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-backed; skipped in -short")
+	}
+	tb := Fig8be(microScale(), 24)
+	if len(tb.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	// Two oversubscribed variants, two patterns, four protocols each.
+	if len(tb.Rows) != 2*(4*4+4*5) {
+		t.Logf("rows = %d (load grids may change); sanity only", len(tb.Rows))
+	}
+}

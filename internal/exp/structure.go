@@ -1,0 +1,209 @@
+package exp
+
+import (
+	"fmt"
+
+	"slimfly/internal/moore"
+	"slimfly/internal/partition"
+	"slimfly/internal/roster"
+	"slimfly/internal/topo"
+	"slimfly/internal/topo/diam3"
+	"slimfly/internal/topo/dragonfly"
+	"slimfly/internal/topo/fbutterfly"
+	"slimfly/internal/topo/slimfly"
+)
+
+// AvgEndpointHops returns the endpoint-pair-weighted average router
+// distance of a topology under minimal routing (the y-axis of Figure 1).
+// Endpoint pairs on the same router count as distance 0; pairs are ordered
+// and exclude self-pairs.
+func AvgEndpointHops(t topo.Topology) float64 {
+	g := t.Graph()
+	// Weight router-pair distances by endpoint counts.
+	w := make([]int64, g.N())
+	var totalEps int64
+	for r := 0; r < g.N(); r++ {
+		w[r] = int64(len(t.RouterEndpoints(r)))
+		totalEps += w[r]
+	}
+	var sum, pairs float64
+	dist := make([]int32, g.N())
+	queue := make([]int32, 0, g.N())
+	for r := 0; r < g.N(); r++ {
+		if w[r] == 0 {
+			continue
+		}
+		g.BFSInto(r, dist, queue)
+		for v := 0; v < g.N(); v++ {
+			if w[v] == 0 || dist[v] < 0 {
+				continue
+			}
+			n := float64(w[r] * w[v])
+			if v == r {
+				n = float64(w[r] * (w[r] - 1)) // same-router pairs, no self
+			}
+			sum += n * float64(dist[v])
+			pairs += n
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return sum / pairs
+}
+
+// Fig1 reproduces Figure 1: average hop count under uniform traffic with
+// minimal routing, for every topology at its balanced sizes within
+// [minN, maxN].
+func Fig1(minN, maxN int, seed uint64) *Table {
+	t := &Table{
+		Title:   "Figure 1: average number of hops (uniform traffic, minimal routing)",
+		Columns: []string{"topology", "endpoints", "routers", "avg_hops"},
+	}
+	for _, kind := range roster.Kinds() {
+		for _, n := range roster.BalancedSizes(kind, minN, maxN) {
+			tp, err := roster.Near(kind, n, seed)
+			if err != nil {
+				continue
+			}
+			t.Add(string(kind), tp.Endpoints(), tp.Routers(), AvgEndpointHops(tp))
+		}
+	}
+	return t
+}
+
+// Fig5a reproduces Figure 5a: router counts against the diameter-2 Moore
+// bound. SF MMS is measured from real constructions; the 2-level flattened
+// butterfly (a clique: Nr = k'+1) and 2-level fat tree (Nr = 3k'/2) are
+// analytic, as in the paper. The Long Hop line uses a fitted model
+// (documented in DESIGN.md): the largest diameter-2 augmented hypercube
+// consistent with the Moore bound, derated by the factor Tomic reports.
+func Fig5a(maxKp int) *Table {
+	t := &Table{
+		Title:   "Figure 5a: Moore bound comparison, diameter 2",
+		Columns: []string{"k'", "moore_bound", "SF_MMS", "SF_frac", "FBF-2", "FT-2", "LongHop"},
+	}
+	for _, q := range slimfly.ValidOrders(3, 100) {
+		kp, nr, _, _ := slimfly.Params(q)
+		if kp > maxKp {
+			break
+		}
+		mb := moore.Bound2(kp)
+		lh := longHopD2Model(kp)
+		t.Add(kp, mb, nr, fmt.Sprintf("%.1f%%", 100*moore.Fraction(nr, kp, 2)),
+			kp+1, 3*kp/2, lh)
+	}
+	return t
+}
+
+// longHopD2Model: largest power of two not exceeding ~22% of the Moore
+// bound (Figure 5a annotates Long Hop at 21% of the bound).
+func longHopD2Model(kp int) int64 {
+	target := float64(moore.Bound2(kp)) * 0.22
+	n := int64(1)
+	for float64(n*2) <= target {
+		n *= 2
+	}
+	return n
+}
+
+// Fig5b reproduces Figure 5b: router counts against the diameter-3 Moore
+// bound for Slim Fly DEL and BDF constructions, Dragonfly and FBF-3.
+func Fig5b(maxKp int) *Table {
+	t := &Table{
+		Title:   "Figure 5b: Moore bound comparison, diameter 3",
+		Columns: []string{"k'", "moore_bound", "topology", "routers", "fraction"},
+	}
+	add := func(kp int, name string, nr int64) {
+		if kp < 3 || kp > maxKp {
+			return
+		}
+		t.Add(kp, moore.Bound3(kp), name, nr,
+			fmt.Sprintf("%.1f%%", 100*moore.Fraction(int(nr), kp, 3)))
+	}
+	// DEL: prime powers v.
+	for v := 2; v <= 9; v++ {
+		if _, err := diam3.PolarityGraph(v); err != nil {
+			continue
+		}
+		kp, nr := diam3.DELParams(v)
+		add(kp, "SF-DEL", int64(nr))
+	}
+	// BDF: odd prime powers u.
+	for _, u := range []int{3, 5, 7, 9, 11, 13, 17, 19, 23, 25, 27, 29, 31, 37, 41, 43, 47, 49, 53, 59, 61} {
+		kp := diam3.BDFRadix(u)
+		add(kp, "SF-BDF", int64(diam3.BDFRouters(kp)))
+	}
+	// Dragonfly: k' = (a-1) + h = 3p - 1.
+	for p := 2; p <= 33; p++ {
+		_, _, _, nr, _, _ := dragonfly.Params(p)
+		add(3*p-1, "DF", int64(nr))
+	}
+	// FBF-3: k' = 3(c-1).
+	for c := 2; c <= 34; c++ {
+		nr, _, _ := fbutterfly.Params(c)
+		add(3*(c-1), "FBF-3", int64(nr))
+	}
+	t.SortRowsNumeric(0)
+	return t
+}
+
+// Fig5c reproduces Figure 5c: bisection bandwidth versus network size.
+// SF and DLN are measured with the partitioner; the other topologies use
+// the analytic bisections of Section III-C. Bandwidth assumes 10 Gb/s
+// links as in the paper.
+func Fig5c(minN, maxN int, seed uint64) *Table {
+	const gbps = 10.0
+	t := &Table{
+		Title:   "Figure 5c: bisection bandwidth (10 Gb/s links)",
+		Columns: []string{"topology", "endpoints", "bisection_links", "bisection_Gbps", "frac_of_full"},
+	}
+	add := func(kind roster.Kind, n int, links float64) {
+		t.Add(string(kind), n, int(links), links*gbps, links/(float64(n)/2))
+	}
+	for _, kind := range roster.Kinds() {
+		for _, n := range roster.BalancedSizes(kind, minN, maxN) {
+			tp, err := roster.Near(kind, n, seed)
+			if err != nil {
+				continue
+			}
+			nn := tp.Endpoints()
+			switch kind {
+			case roster.SF, roster.DLN:
+				if tp.Routers() > 3000 {
+					continue // partitioning beyond this is slow; analytic elsewhere
+				}
+				res := partition.Bisect(tp.Graph(), 6, seed)
+				add(kind, nn, float64(res.Cut))
+			case roster.HC, roster.FT3:
+				add(kind, nn, float64(nn)/2)
+			case roster.DF, roster.FBF3:
+				add(kind, nn, float64(nn)/4)
+			case roster.LHHC:
+				add(kind, nn, 1.5*float64(nn))
+			case roster.T3D, roster.T5D:
+				// 2 * N / side: two cut planes of side^(d-1) links each.
+				kp := tp.NetworkRadix()
+				add(kind, nn, 4*float64(nn)/float64(kp)) // 2N/(k'/2) = 4N/k'
+			}
+		}
+	}
+	return t
+}
+
+// Table2 reproduces Table II: design and measured diameters.
+func Table2(n int, seed uint64) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Table II: diameters (configurations near N=%d)", n),
+		Columns: []string{"topology", "endpoints", "design_D", "measured_D"},
+	}
+	for _, kind := range roster.Kinds() {
+		tp, err := roster.Near(kind, n, seed)
+		if err != nil {
+			continue
+		}
+		st := tp.Graph().AllPairsStats()
+		t.Add(string(kind), tp.Endpoints(), tp.DesignDiameter(), st.Diameter)
+	}
+	return t
+}

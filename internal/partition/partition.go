@@ -1,0 +1,210 @@
+// Package partition estimates minimum balanced bisections of router graphs.
+// The paper approximates the bisection bandwidth of Slim Fly and DLN with
+// the METIS partitioner (Section III-C); this package substitutes a
+// multi-restart greedy-growth seeding phase followed by
+// Fiduccia-Mattheyses-style refinement passes, which lands in the same
+// quality band for the graph sizes in the study (hundreds to a few
+// thousand routers).
+package partition
+
+import (
+	"slimfly/internal/graph"
+	"slimfly/internal/stats"
+)
+
+// Result describes a balanced bisection: Part[v] is the side of vertex v,
+// Cut the number of crossing edges.
+type Result struct {
+	Cut  int
+	Part []bool
+}
+
+// Bisect computes a balanced bisection (sides differ by at most one vertex)
+// using `restarts` random-seeded attempts, each refined to a local optimum,
+// returning the best. It is deterministic for a fixed seed.
+func Bisect(g *graph.Graph, restarts int, seed uint64) Result {
+	n := g.N()
+	best := Result{Cut: -1}
+	if n < 2 {
+		return Result{Cut: 0, Part: make([]bool, n)}
+	}
+	if restarts < 1 {
+		restarts = 1
+	}
+	for r := 0; r < restarts; r++ {
+		rng := stats.NewRNG(seed + uint64(r)*0x9e3779b9)
+		part := seedPartition(g, rng)
+		cut := refine(g, part)
+		if best.Cut < 0 || cut < best.Cut {
+			best = Result{Cut: cut, Part: part}
+		}
+	}
+	return best
+}
+
+// seedPartition grows one side by BFS from a random vertex, preferring
+// frontier vertices with many neighbours already inside (greedy growth);
+// this biases the cut toward community boundaries.
+func seedPartition(g *graph.Graph, rng *stats.RNG) []bool {
+	n := g.N()
+	part := make([]bool, n) // false = side A (grown), true = side B
+	for i := range part {
+		part[i] = true
+	}
+	target := n / 2
+	inA := make([]bool, n)
+	gainIn := make([]int, n) // neighbours already in A
+	start := rng.Intn(n)
+	inA[start] = true
+	part[start] = false
+	size := 1
+	frontier := []int32{}
+	for _, v := range g.Neighbors(start) {
+		gainIn[v]++
+		frontier = append(frontier, v)
+	}
+	for size < target {
+		// Pick the frontier vertex with max neighbours inside; break ties
+		// randomly by scanning from a random offset.
+		bestIdx, bestGain := -1, -1
+		if len(frontier) == 0 {
+			// Disconnected remainder: pick any outside vertex.
+			for v := 0; v < n; v++ {
+				if !inA[v] {
+					frontier = append(frontier, int32(v))
+					break
+				}
+			}
+		}
+		off := rng.Intn(len(frontier))
+		for i := range frontier {
+			idx := (i + off) % len(frontier)
+			v := frontier[idx]
+			if inA[v] {
+				continue
+			}
+			if gainIn[v] > bestGain {
+				bestGain = gainIn[v]
+				bestIdx = idx
+			}
+		}
+		if bestIdx < 0 {
+			frontier = frontier[:0]
+			continue
+		}
+		v := frontier[bestIdx]
+		frontier[bestIdx] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		if inA[v] {
+			continue
+		}
+		inA[v] = true
+		part[v] = false
+		size++
+		for _, w := range g.Neighbors(int(v)) {
+			if !inA[w] {
+				if gainIn[w] == 0 {
+					frontier = append(frontier, w)
+				}
+				gainIn[w]++
+			}
+		}
+	}
+	return part
+}
+
+// CutSize counts edges crossing the partition.
+func CutSize(g *graph.Graph, part []bool) int {
+	cut := 0
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Neighbors(u) {
+			if int(v) > u && part[u] != part[v] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// refine runs FM-style passes until no pass improves the cut; it returns
+// the final cut size. part is modified in place and keeps the balance it
+// started with: moves strictly alternate sides (larger side first), and
+// only prefixes that restore the original balance are committed.
+func refine(g *graph.Graph, part []bool) int {
+	n := g.N()
+	cut := CutSize(g, part)
+	gain := make([]int, n)
+	locked := make([]bool, n)
+	moveOrder := make([]int32, 0, n)
+	for pass := 0; pass < 32; pass++ {
+		for v := 0; v < n; v++ {
+			e := 0
+			for _, w := range g.Neighbors(v) {
+				if part[w] != part[v] {
+					e++
+				}
+			}
+			gain[v] = 2*e - g.Degree(v) // external - internal degree
+			locked[v] = false
+		}
+		sizeA := 0
+		for _, p := range part {
+			if !p {
+				sizeA++
+			}
+		}
+		// Alternate sides, starting with the side that is not smaller, so
+		// every even-length prefix restores the starting balance.
+		fromA := sizeA >= n-sizeA
+		moveOrder = moveOrder[:0]
+		cur := cut
+		bestCut, bestPrefix := cut, 0
+		for step := 0; step < n; step++ {
+			wantSide := !fromA // part value of the side we move FROM
+			if step%2 == 1 {
+				wantSide = fromA
+			}
+			bestV, bestG := -1, -1<<30
+			for v := 0; v < n; v++ {
+				if locked[v] || part[v] != wantSide {
+					continue
+				}
+				if gain[v] > bestG {
+					bestG = gain[v]
+					bestV = v
+				}
+			}
+			if bestV < 0 {
+				break
+			}
+			v := bestV
+			locked[v] = true
+			cur -= gain[v]
+			part[v] = !part[v]
+			moveOrder = append(moveOrder, int32(v))
+			for _, w := range g.Neighbors(v) {
+				if locked[w] {
+					continue
+				}
+				if part[w] == part[v] {
+					gain[w] -= 2
+				} else {
+					gain[w] += 2
+				}
+			}
+			// Only balanced prefixes (even length) are candidates.
+			if step%2 == 1 && cur < bestCut {
+				bestCut = cur
+				bestPrefix = len(moveOrder)
+			}
+		}
+		for i := len(moveOrder) - 1; i >= bestPrefix; i-- {
+			part[moveOrder[i]] = !part[moveOrder[i]]
+		}
+		if bestCut >= cut {
+			return cut
+		}
+		cut = bestCut
+	}
+	return cut
+}

@@ -1,0 +1,69 @@
+package roster
+
+import "testing"
+
+func TestNearAllKinds(t *testing.T) {
+	for _, k := range Kinds() {
+		k := k
+		t.Run(string(k), func(t *testing.T) {
+			t.Parallel()
+			tp, err := Near(k, 1000, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := tp.Endpoints()
+			if n < 250 || n > 4000 {
+				t.Errorf("%s near 1000 has N = %d (too far)", k, n)
+			}
+			if !tp.Graph().IsConnected() {
+				t.Errorf("%s disconnected", k)
+			}
+		})
+	}
+}
+
+func TestNearPaperConfigs(t *testing.T) {
+	// The Section V triple: SF N=10830, DF N=9702, FT-3 N=10648.
+	sf := MustNear(SF, 10500, 0)
+	if sf.Endpoints() != 10830 {
+		t.Errorf("SF near 10500 = %d, want 10830 (q=19)", sf.Endpoints())
+	}
+	df := MustNear(DF, 9700, 0)
+	if df.Endpoints() != 9702 {
+		t.Errorf("DF near 9700 = %d, want 9702 (p=7)", df.Endpoints())
+	}
+	ft := MustNear(FT3, 10648, 0)
+	if ft.Endpoints() != 10648 {
+		t.Errorf("FT near 10648 = %d, want 10648 (p=22)", ft.Endpoints())
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	if _, err := Near(Kind("nope"), 100, 0); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestBalancedSizes(t *testing.T) {
+	for _, k := range Kinds() {
+		sizes := BalancedSizes(k, 200, 20000)
+		if len(sizes) == 0 {
+			t.Errorf("%s: no balanced sizes in [200, 20000]", k)
+		}
+		for i := 1; i < len(sizes); i++ {
+			if sizes[i] <= sizes[i-1] {
+				t.Errorf("%s: sizes not increasing: %v", k, sizes)
+			}
+		}
+	}
+	// SF's ladder must include the paper's 10830.
+	found := false
+	for _, n := range BalancedSizes(SF, 200, 20000) {
+		if n == 10830 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("SF ladder missing 10830")
+	}
+}

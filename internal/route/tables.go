@@ -1,0 +1,118 @@
+// Package route builds the routing state used by the simulator and the
+// worst-case traffic generator: all-pairs distances, deterministic minimal
+// next-hop tables (Section IV-A), Valiant path helpers (Section IV-B), and
+// a DFSSSP-style virtual-channel layering used to reproduce the
+// deadlock-freedom experiment of Section IV-D.
+package route
+
+import (
+	"runtime"
+	"sync"
+
+	"slimfly/internal/graph"
+)
+
+// Tables holds per-destination routing state for a router graph.
+//
+// Dist[d][u] is the hop distance from router u to router d (int8 suffices:
+// every topology in the study has diameter well under 127).
+// Next[d][u] is the deterministic minimal next hop from u toward d (the
+// lowest-id neighbour on a shortest path; -1 for u == d or unreachable).
+type Tables struct {
+	G    *graph.Graph
+	Dist [][]int8
+	Next [][]int32
+}
+
+// Build computes the tables with one BFS per destination, parallelised
+// across destinations.
+func Build(g *graph.Graph) *Tables {
+	n := g.N()
+	t := &Tables{
+		G:    g,
+		Dist: make([][]int8, n),
+		Next: make([][]int32, n),
+	}
+	nw := runtime.GOMAXPROCS(0)
+	if nw > n {
+		nw = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dist := make([]int32, n)
+			queue := make([]int32, 0, n)
+			for d := w; d < n; d += nw {
+				g.BFSInto(d, dist, queue)
+				d8 := make([]int8, n)
+				next := make([]int32, n)
+				for u := 0; u < n; u++ {
+					if dist[u] == graph.Unreachable {
+						d8[u] = -1
+						next[u] = -1
+						continue
+					}
+					d8[u] = int8(dist[u])
+					next[u] = -1
+					if u == d {
+						continue
+					}
+					// Lowest-id neighbour one step closer to d.
+					for _, v := range g.Neighbors(u) {
+						if dist[v] == dist[u]-1 {
+							next[u] = v
+							break // adjacency lists are sorted
+						}
+					}
+				}
+				t.Dist[d] = d8
+				t.Next[d] = next
+			}
+		}(w)
+	}
+	wg.Wait()
+	return t
+}
+
+// Distance returns the hop distance from u to d (-1 if unreachable).
+func (t *Tables) Distance(u, d int) int { return int(t.Dist[d][u]) }
+
+// NextHop returns the deterministic minimal next hop from u toward d, or -1
+// if u == d or d is unreachable.
+func (t *Tables) NextHop(u, d int) int32 { return t.Next[d][u] }
+
+// Path returns the deterministic minimal path from u to d inclusive of both
+// endpoints (nil if unreachable).
+func (t *Tables) Path(u, d int) []int32 {
+	if t.Dist[d][u] < 0 {
+		return nil
+	}
+	path := make([]int32, 0, t.Dist[d][u]+1)
+	cur := int32(u)
+	path = append(path, cur)
+	for cur != int32(d) {
+		cur = t.Next[d][cur]
+		path = append(path, cur)
+	}
+	return path
+}
+
+// ValiantLen returns the length in hops of the Valiant path s -> r -> d.
+func (t *Tables) ValiantLen(s, r, d int) int {
+	return int(t.Dist[r][s]) + int(t.Dist[d][r])
+}
+
+// MaxDistance returns the measured diameter according to the tables.
+func (t *Tables) MaxDistance() int {
+	m := 0
+	for _, row := range t.Dist {
+		for _, d := range row {
+			if int(d) > m {
+				m = int(d)
+			}
+		}
+	}
+	return m
+}

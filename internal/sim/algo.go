@@ -1,0 +1,341 @@
+package sim
+
+import "slimfly/internal/topo/fattree"
+
+// Algo is a routing algorithm. OnInject runs once per packet at its source
+// router (where UGAL makes its path decision); Target returns the next
+// router for a packet currently at router r (never r itself: ejection is
+// handled by the engine when r is the destination router).
+type Algo interface {
+	Name() string
+	OnInject(s *Sim, p *Packet)
+	Target(s *Sim, p *Packet, r int32) int32
+	// NeededVCs returns the virtual channels required for deadlock
+	// freedom under the hop-indexed scheme of Section IV-D, given the
+	// network diameter: the maximum path length this algorithm produces.
+	NeededVCs(diameter int) int
+}
+
+// MIN is minimal static routing (Section IV-A): shortest path by table.
+type MIN struct{}
+
+// Name implements Algo.
+func (MIN) Name() string { return "MIN" }
+
+// OnInject implements Algo.
+func (MIN) OnInject(*Sim, *Packet) {}
+
+// NeededVCs implements Algo: minimal paths never exceed the diameter.
+func (MIN) NeededVCs(diameter int) int { return diameter }
+
+// Target implements Algo.
+func (MIN) Target(s *Sim, p *Packet, r int32) int32 {
+	return s.Tables().NextHop(int(r), int(p.DstRouter))
+}
+
+// valTarget routes via the packet's intermediate router, switching to
+// phase 1 on arrival there. Shared by VAL and the UGAL variants.
+func valTarget(s *Sim, p *Packet, r int32) int32 {
+	if p.Phase == 0 {
+		if r == p.Interm {
+			p.Phase = 1
+		} else {
+			return s.Tables().NextHop(int(r), int(p.Interm))
+		}
+	}
+	return s.Tables().NextHop(int(r), int(p.DstRouter))
+}
+
+// pickIntermediate draws a random router different from both src and dst.
+func pickIntermediate(s *Sim, src, dst int32) int32 {
+	n := int32(s.cfg.Topo.Routers())
+	for {
+		r := int32(s.rng.Intn(int(n)))
+		if r != src && r != dst {
+			return r
+		}
+	}
+}
+
+// VAL is Valiant random routing (Section IV-B): minimal to a random
+// intermediate router, then minimal to the destination; paths are 2-4 hops
+// on Slim Fly.
+type VAL struct{}
+
+// Name implements Algo.
+func (VAL) Name() string { return "VAL" }
+
+// OnInject implements Algo.
+func (VAL) OnInject(s *Sim, p *Packet) {
+	src := s.epRouter[p.Src]
+	if src == p.DstRouter {
+		p.Interm = src // degenerate: stay minimal (self-router traffic)
+		p.Phase = 1
+		return
+	}
+	p.Interm = pickIntermediate(s, src, p.DstRouter)
+}
+
+// NeededVCs implements Algo: Valiant paths are two minimal segments.
+func (VAL) NeededVCs(diameter int) int { return 2 * diameter }
+
+// Target implements Algo.
+func (VAL) Target(s *Sim, p *Packet, r int32) int32 { return valTarget(s, p, r) }
+
+// ugalThreshold is the bias toward the minimal path: a non-minimal path is
+// taken only when its cost undercuts the minimal cost by more than this
+// margin. It damps detours caused by single in-flight flits (production
+// UGAL implementations use the same bias; without it, the scheme detours on
+// transient noise even at trivial loads).
+const ugalThreshold = 3
+
+// VAL3 is the constrained Valiant variant of Section IV-B: the random
+// intermediate is redrawn until the total path is at most 3 hops. The
+// paper notes this constraint raises average latency because it limits
+// path diversity; BenchmarkAblationVAL3Hop measures that claim.
+type VAL3 struct{}
+
+// Name implements Algo.
+func (VAL3) Name() string { return "VAL-3hop" }
+
+// OnInject implements Algo.
+func (VAL3) OnInject(s *Sim, p *Packet) {
+	src := s.epRouter[p.Src]
+	if src == p.DstRouter {
+		p.Interm = src
+		p.Phase = 1
+		return
+	}
+	tb := s.Tables()
+	// Bounded redraws; fall back to the best seen if none fits.
+	best := int32(-1)
+	bestLen := 1 << 30
+	for i := 0; i < 32; i++ {
+		r := pickIntermediate(s, src, p.DstRouter)
+		l := tb.ValiantLen(int(src), int(r), int(p.DstRouter))
+		if l < bestLen {
+			bestLen = l
+			best = r
+		}
+		if l <= 3 {
+			break
+		}
+	}
+	p.Interm = best
+}
+
+// NeededVCs implements Algo: the constrained variant still falls back to
+// unconstrained intermediates when no short one is found.
+func (VAL3) NeededVCs(diameter int) int { return 2 * diameter }
+
+// Target implements Algo.
+func (VAL3) Target(s *Sim, p *Packet, r int32) int32 { return valTarget(s, p, r) }
+
+// UGALL is UGAL-L (Section IV-C2): at injection it compares the minimal
+// path against Candidates random Valiant paths, weighting each path's hop
+// count by the local output queue length of its first hop, and commits to
+// the winner.
+type UGALL struct {
+	Candidates int // number of random paths; the paper found 4 best
+}
+
+// Name implements Algo.
+func (UGALL) Name() string { return "UGAL-L" }
+
+// OnInject implements Algo.
+func (u UGALL) OnInject(s *Sim, p *Packet) {
+	cands := u.Candidates
+	if cands <= 0 {
+		cands = 4
+	}
+	tb := s.Tables()
+	src := s.epRouter[p.Src]
+	if src == p.DstRouter {
+		p.Interm = -1
+		return
+	}
+	minLen := tb.Distance(int(src), int(p.DstRouter))
+	minNext := tb.NextHop(int(src), int(p.DstRouter))
+	minPort := s.NetPortToward(src, minNext)
+	minCost := minLen * s.QueueEstimate(src, minPort)
+	bestCost := -1
+	bestInterm := int32(-1)
+	for i := 0; i < cands; i++ {
+		interm := pickIntermediate(s, src, p.DstRouter)
+		vlen := tb.ValiantLen(int(src), int(interm), int(p.DstRouter))
+		next := tb.NextHop(int(src), int(interm))
+		port := s.NetPortToward(src, next)
+		cost := vlen * s.QueueEstimate(src, port)
+		if bestCost < 0 || cost < bestCost {
+			bestCost = cost
+			bestInterm = interm
+		}
+	}
+	if bestCost >= 0 && bestCost+ugalThreshold < minCost {
+		p.Interm = bestInterm
+	} else {
+		p.Interm = -1
+		p.Phase = 1
+	}
+}
+
+// NeededVCs implements Algo: UGAL may commit to any Valiant path.
+func (UGALL) NeededVCs(diameter int) int { return 2 * diameter }
+
+// Target implements Algo.
+func (UGALL) Target(s *Sim, p *Packet, r int32) int32 {
+	if p.Interm < 0 {
+		return s.Tables().NextHop(int(r), int(p.DstRouter))
+	}
+	return valTarget(s, p, r)
+}
+
+// UGALG is UGAL-G (Section IV-C1): like UGAL-L but with global knowledge,
+// summing the queue estimates along the entire candidate path.
+type UGALG struct {
+	Candidates int
+}
+
+// Name implements Algo.
+func (UGALG) Name() string { return "UGAL-G" }
+
+// pathCost walks the minimal route from a to b, accumulating every hop's
+// output queue estimate (global information).
+func pathCost(s *Sim, a, b int32) int {
+	tb := s.Tables()
+	cost := 0
+	cur := a
+	for cur != b {
+		next := tb.NextHop(int(cur), int(b))
+		cost += s.QueueEstimate(cur, s.NetPortToward(cur, next)) + 1
+		cur = next
+	}
+	return cost
+}
+
+// OnInject implements Algo.
+func (u UGALG) OnInject(s *Sim, p *Packet) {
+	cands := u.Candidates
+	if cands <= 0 {
+		cands = 4
+	}
+	src := s.epRouter[p.Src]
+	if src == p.DstRouter {
+		p.Interm = -1
+		return
+	}
+	minCost := pathCost(s, src, p.DstRouter)
+	bestCost := -1
+	bestInterm := int32(-1)
+	for i := 0; i < cands; i++ {
+		interm := pickIntermediate(s, src, p.DstRouter)
+		cost := pathCost(s, src, interm) + pathCost(s, interm, p.DstRouter)
+		if bestCost < 0 || cost < bestCost {
+			bestCost = cost
+			bestInterm = interm
+		}
+	}
+	if bestCost >= 0 && bestCost+ugalThreshold < minCost {
+		p.Interm = bestInterm
+	} else {
+		p.Interm = -1
+		p.Phase = 1
+	}
+}
+
+// NeededVCs implements Algo.
+func (UGALG) NeededVCs(diameter int) int { return 2 * diameter }
+
+// Target implements Algo.
+func (UGALG) Target(s *Sim, p *Packet, r int32) int32 {
+	if p.Interm < 0 {
+		return s.Tables().NextHop(int(r), int(p.DstRouter))
+	}
+	return valTarget(s, p, r)
+}
+
+// FTANCA is the Adaptive Nearest Common Ancestor protocol for the 3-level
+// fat tree (Section V, after Gomez et al.): packets climb adaptively
+// (least-loaded up port) until they reach an ancestor of the destination,
+// then descend deterministically.
+type FTANCA struct {
+	FT *fattree.FatTree
+}
+
+// Name implements Algo.
+func (FTANCA) Name() string { return "ANCA" }
+
+// OnInject implements Algo.
+func (FTANCA) OnInject(*Sim, *Packet) {}
+
+// NeededVCs implements Algo: up*/down* paths have at most 4 hops in a
+// 3-level tree (and are deadlock-free regardless, being acyclic).
+func (FTANCA) NeededVCs(int) int { return 4 }
+
+// SpreadVCs marks up*/down* routing as safe for free VC selection: the
+// routing graph is acyclic, so deadlock freedom does not depend on the
+// hop-indexed VC discipline. Spreading flits across all VCs turns each
+// input port into several parallel queues and removes most head-of-line
+// blocking (without it an input-queued router saturates well below full
+// throughput on uniform traffic).
+func (FTANCA) SpreadVCs() bool { return true }
+
+// Target implements Algo.
+func (a FTANCA) Target(s *Sim, p *Packet, r int32) int32 {
+	ft := a.FT
+	ar := ft.Arity
+	dEdge := int(p.DstRouter) // destination edge switch: id in [0, p^2)
+	da, db := dEdge/ar, dEdge%ar
+	switch ft.Level(int(r)) {
+	case 0: // edge switch (not destination): climb to an aggregation switch
+		ea := int(r) / ar
+		return a.bestUp(s, r, func(j int) int32 { return int32(ar*ar + ea*ar + j) })
+	case 1: // aggregation switch
+		aa := (int(r) - ar*ar) / ar
+		j := (int(r) - ar*ar) % ar
+		if aa == da {
+			return int32(da*ar + db) // descend into the destination edge
+		}
+		// Climb to a core switch in our column j.
+		return a.bestUp(s, r, func(i int) int32 { return int32(2*ar*ar + i*ar + j) })
+	default: // core switch: descend to the destination pod's agg in our column
+		j := (int(r) - 2*ar*ar) % ar
+		return int32(ar*ar + da*ar + j)
+	}
+}
+
+// bestUp returns an up-neighbour (candidates generated by gen for indices
+// 0..arity-1) drawn uniformly from the ports whose queue estimate is
+// within one flit of the minimum. Choosing the strict argmin would herd
+// every head of a cycle onto a single port (one estimate is almost always
+// strictly lowest), serialising the switch; the +1 tolerance window keeps
+// the adaptivity while spreading simultaneous decisions, emulating the
+// per-packet port arbitration of a hardware allocator.
+func (a FTANCA) bestUp(s *Sim, r int32, gen func(i int) int32) int32 {
+	arity := a.FT.Arity
+	var ests [64]int
+	minQ := 1 << 30
+	for i := 0; i < arity; i++ {
+		q := s.QueueEstimate(r, s.NetPortToward(r, gen(i)))
+		ests[i] = q
+		if q < minQ {
+			minQ = q
+		}
+	}
+	cand := 0
+	for i := 0; i < arity; i++ {
+		if ests[i] <= minQ+1 {
+			cand++
+		}
+	}
+	pick := s.rng.Intn(cand)
+	for i := 0; i < arity; i++ {
+		if ests[i] <= minQ+1 {
+			if pick == 0 {
+				return gen(i)
+			}
+			pick--
+		}
+	}
+	return gen(0) // unreachable
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"sort"
+)
+
+// Detailed metrics are collected when Config.Detailed is true: a latency
+// histogram (for percentiles) and per-channel flit counts (for link
+// utilization / hotspot analysis, used by the worst-case studies).
+
+// DetailedResult extends Result with distribution data.
+type DetailedResult struct {
+	Result
+	LatencyP50, LatencyP95, LatencyP99 float64
+	// MaxChannelUtil is the utilisation of the hottest network channel
+	// during the measurement window (flits forwarded / cycles).
+	MaxChannelUtil float64
+	// ChannelUtils lists per-directed-channel utilisation, indexed as
+	// router*maxDeg+port; only meaningful entries are set.
+	hotChannels []channelLoad
+}
+
+type channelLoad struct {
+	Router, Port int32
+	Flits        int64
+}
+
+// HottestChannels returns the n most-loaded directed channels as
+// (router, port, flits) triples, most loaded first.
+func (d *DetailedResult) HottestChannels(n int) []struct {
+	Router, Port int32
+	Flits        int64
+} {
+	out := make([]struct {
+		Router, Port int32
+		Flits        int64
+	}, 0, n)
+	for i, c := range d.hotChannels {
+		if i >= n {
+			break
+		}
+		out = append(out, struct {
+			Router, Port int32
+			Flits        int64
+		}{c.Router, c.Port, c.Flits})
+	}
+	return out
+}
+
+// RunDetailed is Run plus latency percentiles and channel utilisation.
+// It costs one int64 per channel and one append per delivered packet.
+func (s *Sim) RunDetailed() DetailedResult {
+	s.collect = true
+	s.chanFlits = make([][]int64, len(s.routers))
+	for r := range s.routers {
+		s.chanFlits[r] = make([]int64, len(s.routers[r].outQ))
+	}
+	base := s.Run()
+	d := DetailedResult{Result: base}
+	if len(s.latencies) > 0 {
+		sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
+		pick := func(p float64) float64 {
+			idx := int(p * float64(len(s.latencies)-1))
+			return float64(s.latencies[idx])
+		}
+		d.LatencyP50 = pick(0.50)
+		d.LatencyP95 = pick(0.95)
+		d.LatencyP99 = pick(0.99)
+	}
+	window := float64(s.cfg.Measure)
+	var loads []channelLoad
+	for r := range s.chanFlits {
+		for p, f := range s.chanFlits[r] {
+			if f == 0 {
+				continue
+			}
+			loads = append(loads, channelLoad{Router: int32(r), Port: int32(p), Flits: f})
+			if u := float64(f) / window; u > d.MaxChannelUtil {
+				d.MaxChannelUtil = u
+			}
+		}
+	}
+	sort.Slice(loads, func(i, j int) bool { return loads[i].Flits > loads[j].Flits })
+	d.hotChannels = loads
+	return d
+}

@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"testing"
+
+	"slimfly/internal/route"
+	"slimfly/internal/topo/slimfly"
+	"slimfly/internal/traffic"
+)
+
+func TestRunDetailed(t *testing.T) {
+	sf := slimfly.MustNew(5)
+	tb := route.Build(sf.Graph())
+	s, err := New(Config{
+		Topo: sf, Tables: tb, Algo: MIN{}, Pattern: traffic.Uniform{N: sf.Endpoints()},
+		Load: 0.3, Warmup: 400, Measure: 1200, Drain: 6000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := s.RunDetailed()
+	if d.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Percentiles ordered and consistent with the mean.
+	if !(d.LatencyP50 <= d.LatencyP95 && d.LatencyP95 <= d.LatencyP99) {
+		t.Errorf("percentiles not ordered: %v %v %v", d.LatencyP50, d.LatencyP95, d.LatencyP99)
+	}
+	if float64(d.MaxLatency) < d.LatencyP99 {
+		t.Errorf("max latency %v below p99 %v", d.MaxLatency, d.LatencyP99)
+	}
+	// Channel utilisation in (0, 1].
+	if d.MaxChannelUtil <= 0 || d.MaxChannelUtil > 1.0001 {
+		t.Errorf("max channel util = %v", d.MaxChannelUtil)
+	}
+	hot := d.HottestChannels(5)
+	if len(hot) == 0 {
+		t.Fatal("no hot channels recorded")
+	}
+	for i := 1; i < len(hot); i++ {
+		if hot[i].Flits > hot[i-1].Flits {
+			t.Error("hot channels not sorted")
+		}
+	}
+}
+
+func TestDetailedWorstCaseHotspot(t *testing.T) {
+	// Under the adversarial pattern with MIN routing, the hottest channel
+	// must run far above the average channel load -- that is the point of
+	// the construction (Section V-C).
+	sf := slimfly.MustNew(5)
+	tb := route.Build(sf.Graph())
+	wc := traffic.WorstCaseSF(sf, tb, 7)
+	mk := func(p traffic.Pattern) DetailedResult {
+		s, err := New(Config{
+			Topo: sf, Tables: tb, Algo: MIN{}, Pattern: p,
+			Load: 0.15, Warmup: 400, Measure: 1200, Drain: 6000, Seed: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.RunDetailed()
+	}
+	adv := mk(wc)
+	uni := mk(traffic.Uniform{N: sf.Endpoints()})
+	if adv.MaxChannelUtil <= uni.MaxChannelUtil {
+		t.Errorf("worst-case max util %v <= uniform %v", adv.MaxChannelUtil, uni.MaxChannelUtil)
+	}
+}
+
+func TestVAL3PathsShorter(t *testing.T) {
+	sf := slimfly.MustNew(5)
+	tb := route.Build(sf.Graph())
+	mk := func(a Algo) Result {
+		s, err := New(Config{
+			Topo: sf, Tables: tb, Algo: a, Pattern: traffic.Uniform{N: sf.Endpoints()},
+			Load: 0.1, Warmup: 300, Measure: 900, Drain: 5000, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run()
+	}
+	v4, v3 := mk(VAL{}), mk(VAL3{})
+	if v3.AvgHops >= v4.AvgHops {
+		t.Errorf("VAL3 hops %v >= VAL %v; constraint should shorten paths", v3.AvgHops, v4.AvgHops)
+	}
+	if v3.AvgHops > 3.01 {
+		t.Errorf("VAL3 avg hops %v > 3", v3.AvgHops)
+	}
+}
+
+func TestNeededVCsDefaults(t *testing.T) {
+	if (MIN{}).NeededVCs(2) != 2 || (VAL{}).NeededVCs(2) != 4 {
+		t.Error("SF VC counts wrong (paper: 2 minimal, 4 adaptive)")
+	}
+	if (UGALL{}).NeededVCs(3) != 6 || (FTANCA{}).NeededVCs(4) != 4 {
+		t.Error("DF/FT VC counts wrong")
+	}
+	// The default config picks these up.
+	sf := slimfly.MustNew(5)
+	tb := route.Build(sf.Graph())
+	s, err := New(Config{Topo: sf, Tables: tb, Algo: VAL{}, Pattern: traffic.Uniform{N: 200}, Load: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.cfg.NumVCs != 4 {
+		t.Errorf("defaulted NumVCs = %d, want 4 for VAL on a diameter-2 network", s.cfg.NumVCs)
+	}
+}

@@ -1,0 +1,520 @@
+// Package sim is a cycle-based network simulator reproducing the
+// methodology of Section V of the paper: single-flit packets injected by a
+// Bernoulli process into input-queued virtual-channel routers with
+// credit-based flow control. The modelled delays follow the paper: 2-cycle
+// credit processing, 1-cycle channel/switch-allocation/VC-allocation
+// stages, internal crossbar speedup of 2 over the channel rate, and a
+// configurable total buffering per port (64 flits by default).
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"slimfly/internal/route"
+	"slimfly/internal/stats"
+	"slimfly/internal/topo"
+	"slimfly/internal/traffic"
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	Topo    topo.Topology
+	Tables  *route.Tables // minimal routing tables for Topo.Graph()
+	Algo    Algo
+	Pattern traffic.Pattern
+	Load    float64 // offered load per endpoint in flits/cycle
+
+	NumVCs       int // virtual channels per port (paper: 3)
+	BufPerPort   int // total flit buffering per port (paper default: 64)
+	RouterDelay  int // per-hop pipeline delay before arbitration (VA + credit)
+	ChannelDelay int // link traversal cycles
+	CreditDelay  int // credit return cycles
+	Speedup      int // crossbar grants per output per cycle
+
+	Warmup  int // warm-up cycles before measurement (steady state)
+	Measure int // measured cycles
+	Drain   int // extra cycles to let measured packets drain
+
+	Seed uint64
+}
+
+// withDefaults fills unset fields with the paper's simulation parameters.
+func (c Config) withDefaults() Config {
+	if c.NumVCs == 0 && c.Algo != nil && c.Tables != nil {
+		// Hop-indexed VC assignment needs one VC per hop of the longest
+		// path the algorithm can produce (Section IV-D); fewer VCs would
+		// share the last one and re-introduce cyclic dependencies.
+		c.NumVCs = c.Algo.NeededVCs(c.Tables.MaxDistance())
+	}
+	if c.NumVCs == 0 {
+		c.NumVCs = 3
+	}
+	if c.BufPerPort == 0 {
+		c.BufPerPort = 64
+	}
+	if c.RouterDelay == 0 {
+		c.RouterDelay = 2
+	}
+	if c.ChannelDelay == 0 {
+		c.ChannelDelay = 1
+	}
+	if c.CreditDelay == 0 {
+		c.CreditDelay = 2
+	}
+	if c.Speedup == 0 {
+		c.Speedup = 2
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2000
+	}
+	if c.Measure == 0 {
+		c.Measure = 5000
+	}
+	if c.Drain == 0 {
+		c.Drain = 20000
+	}
+	return c
+}
+
+// Result aggregates one run's measurements.
+type Result struct {
+	AvgLatency  float64 // cycles, measured packets
+	MaxLatency  int64
+	AvgHops     float64
+	Injected    int64   // measured-window injections
+	Delivered   int64   // measured packets delivered
+	Accepted    float64 // delivered flits / cycle / active endpoint
+	OfferedLoad float64
+	Saturated   bool // not all measured packets drained
+	ActiveEnds  int
+	TotalCycles int64
+}
+
+type router struct {
+	nbr     []int32 // sorted neighbour router ids; network port i <-> nbr[i]
+	revPort []int32 // our port index on nbr[i]'s side
+	eps     []int32 // endpoint ids attached here
+	inQ     []fifo  // [(port)*(numVCs) + vc]; ports: deg network, then len(eps) injection
+	credits []int16 // [outPort*numVCs + vc] for network outputs
+	outQ    []fifo  // [outPort] staging queues (network outputs only)
+	rr      []int32 // round-robin arbitration pointer per output (network + eject)
+	flits   int     // buffered flits (skip idle routers quickly)
+}
+
+type arrival struct {
+	router int32
+	port   int32
+	pkt    Packet
+}
+
+type creditEvt struct {
+	router int32
+	port   int32
+	vc     int8
+}
+
+// Sim is a single-threaded deterministic simulator instance.
+type Sim struct {
+	cfg       Config
+	rng       *stats.RNG
+	routers   []router
+	epRouter  []int32 // endpoint -> router
+	epIdx     []int32 // endpoint -> index within its router's endpoint list
+	bufPerVC  int
+	spreadVCs bool // free VC selection (acyclic routing only)
+
+	// Event wheels indexed by cycle modulo their length.
+	arrWheel  [][]arrival
+	credWheel [][]creditEvt
+	cycle     int64
+
+	// Measurement.
+	latSum     int64
+	hopSum     int64
+	delivered  int64 // measured packets delivered (including drain)
+	deliveredW int64 // measured packets delivered within the window
+	windowEnd  int64
+	injected   int64
+	maxLat     int64
+	inFlight   int64 // measured packets not yet delivered
+
+	// Optional detailed collection (RunDetailed).
+	collect   bool
+	latencies []int32
+	chanFlits [][]int64 // [router][outPort] flits forwarded in-window
+}
+
+// New builds a simulator from cfg, validating the configuration.
+func New(cfg Config) (*Sim, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Topo == nil || cfg.Tables == nil || cfg.Algo == nil || cfg.Pattern == nil {
+		return nil, fmt.Errorf("sim: Topo, Tables, Algo and Pattern are required")
+	}
+	if cfg.Load < 0 || cfg.Load > 1 {
+		return nil, fmt.Errorf("sim: load %v out of [0,1]", cfg.Load)
+	}
+	if cfg.NumVCs < 1 || cfg.BufPerPort < cfg.NumVCs {
+		return nil, fmt.Errorf("sim: need at least 1 flit of buffering per VC")
+	}
+	t := cfg.Topo
+	g := t.Graph()
+	s := &Sim{
+		cfg:      cfg,
+		rng:      stats.NewRNG(cfg.Seed),
+		routers:  make([]router, g.N()),
+		epRouter: make([]int32, t.Endpoints()),
+		epIdx:    make([]int32, t.Endpoints()),
+		bufPerVC: cfg.BufPerPort / cfg.NumVCs,
+	}
+	if sp, ok := cfg.Algo.(interface{ SpreadVCs() bool }); ok && sp.SpreadVCs() {
+		s.spreadVCs = true
+	}
+	for e := 0; e < t.Endpoints(); e++ {
+		s.epRouter[e] = int32(t.EndpointRouter(e))
+	}
+	for r := 0; r < g.N(); r++ {
+		rt := &s.routers[r]
+		rt.nbr = g.Neighbors(r) // sorted
+		rt.eps = make([]int32, 0, 4)
+		for _, e := range t.RouterEndpoints(r) {
+			s.epIdx[e] = int32(len(rt.eps))
+			rt.eps = append(rt.eps, int32(e))
+		}
+		deg := len(rt.nbr)
+		ports := deg + len(rt.eps)
+		rt.inQ = make([]fifo, ports*cfg.NumVCs)
+		for p := 0; p < deg; p++ {
+			for v := 0; v < cfg.NumVCs; v++ {
+				rt.inQ[p*cfg.NumVCs+v] = newFifo(s.bufPerVC)
+			}
+		}
+		// Injection queues (unbounded): only VC 0 is used.
+		for p := deg; p < ports; p++ {
+			rt.inQ[p*cfg.NumVCs] = fifo{}
+		}
+		rt.credits = make([]int16, deg*cfg.NumVCs)
+		for i := range rt.credits {
+			rt.credits[i] = int16(s.bufPerVC)
+		}
+		rt.outQ = make([]fifo, deg)
+		for p := 0; p < deg; p++ {
+			rt.outQ[p] = newFifo(cfg.Speedup)
+		}
+		rt.rr = make([]int32, deg+len(rt.eps))
+		rt.revPort = make([]int32, deg)
+	}
+	// Reverse port indices for credit addressing.
+	for r := range s.routers {
+		for i, nb := range s.routers[r].nbr {
+			s.routers[r].revPort[i] = int32(portOf(s.routers[nb].nbr, int32(r)))
+		}
+	}
+	wheel := cfg.ChannelDelay
+	if cfg.CreditDelay > wheel {
+		wheel = cfg.CreditDelay
+	}
+	wheel++
+	s.arrWheel = make([][]arrival, wheel)
+	s.credWheel = make([][]creditEvt, wheel)
+	return s, nil
+}
+
+// portOf returns the index of target in the sorted neighbour list.
+func portOf(nbr []int32, target int32) int {
+	i := sort.Search(len(nbr), func(i int) bool { return nbr[i] >= target })
+	return i
+}
+
+// QueueEstimate returns the congestion estimate for router r's network
+// output port: occupied downstream buffer slots plus staged flits. UGAL
+// uses this as its "output queue length" (Section IV-C).
+func (s *Sim) QueueEstimate(r int32, port int) int {
+	rt := &s.routers[r]
+	occ := rt.outQ[port].size()
+	base := port * s.cfg.NumVCs
+	for v := 0; v < s.cfg.NumVCs; v++ {
+		occ += s.bufPerVC - int(rt.credits[base+v])
+	}
+	return occ
+}
+
+// Tables exposes the routing tables to routing algorithms.
+func (s *Sim) Tables() *route.Tables { return s.cfg.Tables }
+
+// RNG exposes the simulation RNG to routing algorithms.
+func (s *Sim) RNG() *stats.RNG { return s.rng }
+
+// NetPortToward returns r's output port index toward neighbour nxt.
+func (s *Sim) NetPortToward(r, nxt int32) int {
+	return portOf(s.routers[r].nbr, nxt)
+}
+
+// Run executes the configured simulation and returns the measurements.
+func (s *Sim) Run() Result {
+	cfg := s.cfg
+	active := 0
+	for e := 0; e < cfg.Topo.Endpoints(); e++ {
+		if cfg.Pattern.Dest(e, s.rng) >= 0 {
+			active++
+		}
+	}
+	total := int64(cfg.Warmup + cfg.Measure)
+	s.windowEnd = total
+	for s.cycle = 0; s.cycle < total; s.cycle++ {
+		s.step(true)
+	}
+	// Drain: stop injecting, let measured packets finish (bounded).
+	drainEnd := total + int64(cfg.Drain)
+	for s.cycle = total; s.cycle < drainEnd && s.inFlight > 0; s.cycle++ {
+		s.step(false)
+	}
+	res := Result{
+		Injected:    s.injected,
+		Delivered:   s.delivered,
+		MaxLatency:  s.maxLat,
+		OfferedLoad: cfg.Load,
+		ActiveEnds:  active,
+		TotalCycles: s.cycle,
+		Saturated:   s.inFlight > 0,
+	}
+	if s.delivered > 0 {
+		res.AvgLatency = float64(s.latSum) / float64(s.delivered)
+		res.AvgHops = float64(s.hopSum) / float64(s.delivered)
+	}
+	if active > 0 && cfg.Measure > 0 {
+		// Throughput counts only deliveries inside the measurement window;
+		// backlog drained afterwards is latency-relevant but not sustained
+		// bandwidth.
+		res.Accepted = float64(s.deliveredW) / float64(cfg.Measure) / float64(active)
+	}
+	return res
+}
+
+// step advances the simulation by one cycle.
+func (s *Sim) step(inject bool) {
+	cfg := &s.cfg
+	slot := int(s.cycle % int64(len(s.arrWheel)))
+
+	// 1. Deliver link arrivals scheduled for this cycle.
+	for _, a := range s.arrWheel[slot] {
+		rt := &s.routers[a.router]
+		q := &rt.inQ[int(a.port)*cfg.NumVCs+int(a.pkt.VC)]
+		q.push(a.pkt) // space guaranteed by credits
+		rt.flits++
+	}
+	s.arrWheel[slot] = s.arrWheel[slot][:0]
+
+	// 2. Credit returns.
+	for _, c := range s.credWheel[slot] {
+		s.routers[c.router].credits[int(c.port)*cfg.NumVCs+int(c.vc)]++
+	}
+	s.credWheel[slot] = s.credWheel[slot][:0]
+
+	// 3. Injection (Bernoulli per endpoint).
+	if inject {
+		for e := range s.epRouter {
+			if !s.rng.Bernoulli(cfg.Load) {
+				continue
+			}
+			dst := cfg.Pattern.Dest(e, s.rng)
+			if dst < 0 {
+				continue
+			}
+			pkt := Packet{
+				Src:       int32(e),
+				Dst:       int32(dst),
+				DstRouter: s.epRouter[dst],
+				Interm:    -1,
+				Birth:     s.cycle,
+				ReadyAt:   s.cycle + 1,
+				Measured:  s.cycle >= int64(cfg.Warmup),
+			}
+			cfg.Algo.OnInject(s, &pkt)
+			r := s.epRouter[e]
+			rt := &s.routers[r]
+			port := len(rt.nbr) + int(s.epIdx[e])
+			rt.inQ[port*cfg.NumVCs].push(pkt)
+			rt.flits++
+			if pkt.Measured {
+				s.injected++
+				s.inFlight++
+			}
+		}
+	}
+
+	// 4. Switch allocation + VC allocation per router.
+	for r := range s.routers {
+		rt := &s.routers[r]
+		if rt.flits == 0 {
+			continue
+		}
+		s.allocate(int32(r), rt)
+	}
+
+	// 5. Link traversal: one flit per network output per cycle.
+	chSlot := int((s.cycle + int64(cfg.ChannelDelay)) % int64(len(s.arrWheel)))
+	for r := range s.routers {
+		rt := &s.routers[r]
+		for p := range rt.outQ {
+			if rt.outQ[p].empty() {
+				continue
+			}
+			pkt := rt.outQ[p].pop()
+			if s.collect && s.cycle >= int64(cfg.Warmup) && s.cycle < s.windowEnd {
+				s.chanFlits[r][p]++
+			}
+			pkt.ReadyAt = s.cycle + int64(cfg.ChannelDelay) + int64(cfg.RouterDelay)
+			s.arrWheel[chSlot] = append(s.arrWheel[chSlot], arrival{
+				router: rt.nbr[p],
+				port:   rt.revPort[p],
+				pkt:    pkt,
+			})
+		}
+	}
+}
+
+// allocate performs combined switch/VC allocation for one router: each
+// output grants up to Speedup requests among eligible input heads,
+// round-robin for fairness.
+func (s *Sim) allocate(r int32, rt *router) {
+	cfg := &s.cfg
+	deg := len(rt.nbr)
+	numQ := len(rt.inQ)
+	outputs := deg + len(rt.eps)
+
+	// Collect, per output, the requesting input queues.
+	// Small fixed scratch on the stack would be nicer; outputs and queue
+	// counts are small (< few hundred), so allocate-once slices per router
+	// would add state -- reuse a per-call map-free structure instead.
+	type request struct {
+		q    int32 // input queue index
+		next int32 // next router (network) or -1 (eject)
+	}
+	reqs := make([][]request, outputs)
+	for q := 0; q < numQ; q++ {
+		f := &rt.inQ[q]
+		if f.empty() {
+			continue
+		}
+		pkt := f.peek()
+		if pkt.ReadyAt > s.cycle {
+			continue
+		}
+		if pkt.DstRouter == r {
+			ej := deg + int(s.epIdx[pkt.Dst])
+			reqs[ej] = append(reqs[ej], request{q: int32(q), next: -1})
+			continue
+		}
+		next := cfg.Algo.Target(s, pkt, r)
+		port := portOf(rt.nbr, next)
+		reqs[port] = append(reqs[port], request{q: int32(q), next: next})
+	}
+
+	for out := 0; out < outputs; out++ {
+		cand := reqs[out]
+		if len(cand) == 0 {
+			continue
+		}
+		grants := cfg.Speedup
+		if out >= deg {
+			grants = 1 // ejection channel: one flit per cycle
+		}
+		start := int(rt.rr[out]) % len(cand)
+		granted := 0
+		for i := 0; i < len(cand) && granted < grants; i++ {
+			c := cand[(start+i)%len(cand)]
+			q := &rt.inQ[c.q]
+			pkt := q.peek()
+			if out >= deg {
+				// Eject: deliver to endpoint.
+				p := q.pop()
+				rt.flits--
+				s.deliver(&p)
+				s.returnCredit(r, rt, int(c.q))
+				granted++
+				continue
+			}
+			// Network hop: need staging space and a downstream credit for
+			// the next-hop VC (hop-indexed, Gopal's scheme, Section IV-D).
+			if rt.outQ[out].full() {
+				break // output staging exhausted this cycle
+			}
+			// VC allocation. Default: hop-indexed (Gopal's scheme,
+			// Section IV-D) -- hop k travels on VC k. Algorithms with
+			// acyclic routing may instead spread across VCs, choosing the
+			// one with the most credits.
+			var nextVC int8
+			if s.spreadVCs {
+				base := out * cfg.NumVCs
+				best := int16(-1)
+				for v := 0; v < cfg.NumVCs; v++ {
+					if c := rt.credits[base+v]; c > best {
+						best = c
+						nextVC = int8(v)
+					}
+				}
+				if best == 0 {
+					continue
+				}
+			} else {
+				nextVC = pkt.Hops
+				if int(nextVC) >= cfg.NumVCs {
+					nextVC = int8(cfg.NumVCs - 1)
+				}
+				if rt.credits[out*cfg.NumVCs+int(nextVC)] == 0 {
+					continue
+				}
+			}
+			p := q.pop()
+			rt.flits--
+			s.returnCredit(r, rt, int(c.q))
+			p.VC = nextVC
+			p.Hops++
+			rt.credits[out*cfg.NumVCs+int(nextVC)]--
+			rt.outQ[out].push(p)
+			granted++
+		}
+		rt.rr[out] = (rt.rr[out] + 1) % int32(len(cand))
+	}
+}
+
+// returnCredit frees the input buffer slot of queue q at router r,
+// returning a credit upstream for network inputs (injection queues are
+// source queues without credits).
+func (s *Sim) returnCredit(r int32, rt *router, q int) {
+	cfg := &s.cfg
+	port := q / cfg.NumVCs
+	if port >= len(rt.nbr) {
+		return
+	}
+	vc := int8(q % cfg.NumVCs)
+	up := rt.nbr[port]
+	upPort := rt.revPort[port]
+	slot := int((s.cycle + int64(cfg.CreditDelay)) % int64(len(s.credWheel)))
+	s.credWheel[slot] = append(s.credWheel[slot], creditEvt{router: up, port: upPort, vc: vc})
+}
+
+func (s *Sim) deliver(p *Packet) {
+	// Sustained throughput counts every delivery inside the measurement
+	// window (warmup-born packets included): at saturation the warmup
+	// backlog is part of the steady state, and excluding it would make
+	// accepted load collapse with offered load instead of plateauing.
+	if s.cycle >= int64(s.cfg.Warmup) && s.cycle < s.windowEnd {
+		s.deliveredW++
+	}
+	if !p.Measured {
+		return
+	}
+	lat := s.cycle - p.Birth
+	if s.collect {
+		s.latencies = append(s.latencies, int32(lat))
+	}
+	s.latSum += lat
+	s.hopSum += int64(p.Hops)
+	if lat > s.maxLat {
+		s.maxLat = lat
+	}
+	s.delivered++
+	s.inFlight--
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"testing"
+
+	"slimfly/internal/route"
+	"slimfly/internal/topo"
+	"slimfly/internal/topo/dragonfly"
+	"slimfly/internal/topo/fattree"
+	"slimfly/internal/topo/slimfly"
+	"slimfly/internal/traffic"
+)
+
+func run(t *testing.T, tp topo.Topology, tb *route.Tables, algo Algo, pat traffic.Pattern, load float64) Result {
+	t.Helper()
+	s, err := New(Config{
+		Topo: tp, Tables: tb, Algo: algo, Pattern: pat, Load: load,
+		Warmup: 500, Measure: 1500, Drain: 8000, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.Run()
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	sf := slimfly.MustNew(5)
+	tb := route.Build(sf.Graph())
+	if _, err := New(Config{Topo: sf, Tables: tb, Algo: MIN{}, Pattern: traffic.Uniform{N: sf.Endpoints()}, Load: 1.5}); err == nil {
+		t.Error("load > 1 accepted")
+	}
+}
+
+func TestMINUniformLowLoad(t *testing.T) {
+	sf := slimfly.MustNew(5)
+	tb := route.Build(sf.Graph())
+	res := run(t, sf, tb, MIN{}, traffic.Uniform{N: sf.Endpoints()}, 0.1)
+	if res.Saturated {
+		t.Fatal("saturated at 10% load")
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Zero-load latency is a few pipeline stages; at 10% it must stay low.
+	if res.AvgLatency > 25 {
+		t.Errorf("latency %v too high for 10%% load", res.AvgLatency)
+	}
+	// Slim Fly diameter 2: average hops in (1, 2].
+	if res.AvgHops <= 1 || res.AvgHops > 2.01 {
+		t.Errorf("avg hops = %v, want (1,2]", res.AvgHops)
+	}
+	// Accepted throughput tracks offered load away from saturation.
+	if res.Accepted < 0.08 || res.Accepted > 0.12 {
+		t.Errorf("accepted = %v, want ~0.1", res.Accepted)
+	}
+}
+
+func TestMINUniformHighLoad(t *testing.T) {
+	sf := slimfly.MustNew(5)
+	tb := route.Build(sf.Graph())
+	res := run(t, sf, tb, MIN{}, traffic.Uniform{N: sf.Endpoints()}, 0.7)
+	// The balanced SF sustains high uniform load under minimal routing.
+	if res.Accepted < 0.6 {
+		t.Errorf("accepted = %v at 0.7 offered, want >= 0.6", res.Accepted)
+	}
+}
+
+func TestVALDoublesPathLength(t *testing.T) {
+	sf := slimfly.MustNew(5)
+	tb := route.Build(sf.Graph())
+	min := run(t, sf, tb, MIN{}, traffic.Uniform{N: sf.Endpoints()}, 0.1)
+	val := run(t, sf, tb, VAL{}, traffic.Uniform{N: sf.Endpoints()}, 0.1)
+	if val.AvgHops <= min.AvgHops+0.5 {
+		t.Errorf("VAL hops %v not clearly above MIN hops %v", val.AvgHops, min.AvgHops)
+	}
+	if val.AvgLatency <= min.AvgLatency {
+		t.Errorf("VAL latency %v <= MIN latency %v at low load", val.AvgLatency, min.AvgLatency)
+	}
+}
+
+func TestVALSaturatesBelowHalf(t *testing.T) {
+	// Section V-A: VAL "saturates at less than 50% of the injection rate
+	// because it doubles the pressure on all links".
+	sf := slimfly.MustNew(5)
+	tb := route.Build(sf.Graph())
+	res := run(t, sf, tb, VAL{}, traffic.Uniform{N: sf.Endpoints()}, 0.8)
+	if res.Accepted > 0.60 {
+		t.Errorf("VAL accepted %v at 0.8 offered; paper says < ~0.5", res.Accepted)
+	}
+}
+
+func TestUGALLFollowsMINAtLowLoad(t *testing.T) {
+	sf := slimfly.MustNew(5)
+	tb := route.Build(sf.Graph())
+	res := run(t, sf, tb, UGALL{}, traffic.Uniform{N: sf.Endpoints()}, 0.1)
+	// With empty queues UGAL-L picks the minimal path: hops near MIN's.
+	if res.AvgHops > 2.3 {
+		t.Errorf("UGAL-L avg hops %v at low load, want near minimal", res.AvgHops)
+	}
+	if res.Saturated {
+		t.Error("saturated at 10%")
+	}
+}
+
+func TestUGALGWorstCaseBeatsMIN(t *testing.T) {
+	// Figure 6d: on the adversarial pattern MIN is limited to ~1/(p+1)
+	// while VAL/UGAL sustain 40-45%.
+	sf := slimfly.MustNew(5)
+	tb := route.Build(sf.Graph())
+	wc := traffic.WorstCaseSF(sf, tb, 7)
+	minRes := run(t, sf, tb, MIN{}, wc, 0.35)
+	ugalRes := run(t, sf, tb, UGALG{}, wc, 0.35)
+	if ugalRes.Accepted <= minRes.Accepted {
+		t.Errorf("UGAL-G accepted %v <= MIN %v on worst-case", ugalRes.Accepted, minRes.Accepted)
+	}
+	// MIN throughput collapses: ~1/(p+1) = 0.2 for p=4.
+	if minRes.Accepted > 0.33 {
+		t.Errorf("MIN accepted %v on worst-case, want collapse toward ~0.2", minRes.Accepted)
+	}
+}
+
+func TestFatTreeANCA(t *testing.T) {
+	ft := fattree.MustNew(6) // 216 endpoints
+	tb := route.Build(ft.Graph())
+	res := run(t, ft, tb, FTANCA{FT: ft}, traffic.Uniform{N: ft.Endpoints()}, 0.4)
+	if res.Saturated {
+		t.Fatal("fat tree saturated at 40% uniform")
+	}
+	if res.Accepted < 0.35 {
+		t.Errorf("accepted %v, want ~0.4", res.Accepted)
+	}
+	// Max hops in FT-3 is 4.
+	if res.AvgHops > 4.01 {
+		t.Errorf("avg hops %v > 4", res.AvgHops)
+	}
+}
+
+func TestDragonflyUGAL(t *testing.T) {
+	df := dragonfly.MustNew(2) // 144 endpoints
+	tb := route.Build(df.Graph())
+	res := run(t, df, tb, UGALL{}, traffic.Uniform{N: df.Endpoints()}, 0.3)
+	if res.Saturated {
+		t.Fatal("DF saturated at 30%")
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	sf := slimfly.MustNew(5)
+	tb := route.Build(sf.Graph())
+	mk := func() Result {
+		s, err := New(Config{
+			Topo: sf, Tables: tb, Algo: UGALL{}, Pattern: traffic.Uniform{N: sf.Endpoints()},
+			Load: 0.3, Warmup: 300, Measure: 700, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run()
+	}
+	a, b := mk(), mk()
+	if a != b {
+		t.Errorf("non-deterministic results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestLatencyIncreasesWithLoad(t *testing.T) {
+	sf := slimfly.MustNew(5)
+	tb := route.Build(sf.Graph())
+	lo := run(t, sf, tb, MIN{}, traffic.Uniform{N: sf.Endpoints()}, 0.05)
+	hi := run(t, sf, tb, MIN{}, traffic.Uniform{N: sf.Endpoints()}, 0.75)
+	if hi.AvgLatency <= lo.AvgLatency {
+		t.Errorf("latency did not grow with load: %v -> %v", lo.AvgLatency, hi.AvgLatency)
+	}
+}
+
+func TestPermutationPatternInSim(t *testing.T) {
+	sf := slimfly.MustNew(5)
+	tb := route.Build(sf.Graph())
+	res := run(t, sf, tb, MIN{}, traffic.BitReversal(sf.Endpoints()), 0.2)
+	if res.ActiveEnds != 128 { // 2^7 <= 200
+		t.Errorf("active = %d, want 128", res.ActiveEnds)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+}
+
+func TestBufferSizeTradeoff(t *testing.T) {
+	// Figure 8a: bigger buffers enable higher bandwidth under the
+	// worst-case pattern; smaller buffers propagate backpressure more
+	// stiffly, capping the latency packets accumulate inside the network.
+	sf := slimfly.MustNew(5)
+	tb := route.Build(sf.Graph())
+	wc := traffic.WorstCaseSF(sf, tb, 7)
+	mk := func(buf int, load float64) Result {
+		s, err := New(Config{
+			Topo: sf, Tables: tb, Algo: UGALL{}, Pattern: wc, Load: load,
+			BufPerPort: buf, Warmup: 500, Measure: 1500, Drain: 6000, Seed: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run()
+	}
+	// Bandwidth at a stressed load: big buffers should accept at least as
+	// much traffic as tiny ones.
+	smallHi, bigHi := mk(12, 0.4), mk(192, 0.4)
+	if bigHi.Accepted < smallHi.Accepted-0.02 {
+		t.Errorf("big-buffer accepted %v < small-buffer %v under stress",
+			bigHi.Accepted, smallHi.Accepted)
+	}
+	// Far below saturation the buffer size barely matters.
+	smallLo, bigLo := mk(12, 0.05), mk(192, 0.05)
+	diff := smallLo.AvgLatency - bigLo.AvgLatency
+	if diff > 15 || diff < -15 {
+		t.Errorf("low-load latency differs too much across buffers: %v vs %v",
+			smallLo.AvgLatency, bigLo.AvgLatency)
+	}
+}
+
+func BenchmarkSimCycleSFQ5(b *testing.B) {
+	sf := slimfly.MustNew(5)
+	tb := route.Build(sf.Graph())
+	s, err := New(Config{
+		Topo: sf, Tables: tb, Algo: MIN{}, Pattern: traffic.Uniform{N: sf.Endpoints()},
+		Load: 0.5, Warmup: 1, Measure: 1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step(true)
+	}
+}

@@ -1,0 +1,111 @@
+// Package diam3 covers the diameter-3 constructions of Section II-C: the
+// projective-plane polarity graph P_u (a diameter-2 building block of the
+// Bermond-Delorme-Farhi construction), the generic * graph product, and the
+// analytic router-count models for BDF and Delorme (DEL) graphs used in
+// Figure 5b.
+package diam3
+
+import (
+	"fmt"
+
+	"slimfly/internal/gf"
+	"slimfly/internal/graph"
+)
+
+// PolarityGraph builds P_u, the Erdos-Renyi polarity graph of the
+// projective plane PG(2, u) for a prime power u: vertices are the
+// u^2 + u + 1 projective points; M_i ~ M_j iff M_j lies on the line D_i
+// paired with M_i by the standard polarity (dot product zero). The graph
+// has degree u+1 (u for the u+1 absolute points), u^2+u+1 vertices, and
+// diameter 2 (Section II-C1b of the paper).
+func PolarityGraph(u int) (*graph.Graph, error) {
+	f, err := gf.New(u)
+	if err != nil {
+		return nil, fmt.Errorf("diam3: polarity graph needs prime power order: %w", err)
+	}
+	pts := projectivePoints(f)
+	n := len(pts)
+	if n != u*u+u+1 {
+		return nil, fmt.Errorf("diam3: got %d projective points, want %d", n, u*u+u+1)
+	}
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if dot(f, pts[i], pts[j]) == 0 {
+				g.MustAddEdge(i, j)
+			}
+		}
+	}
+	g.SortAdjacency()
+	return g, nil
+}
+
+// projectivePoints enumerates canonical representatives of PG(2, q):
+// (1, a, b), (0, 1, a), (0, 0, 1).
+func projectivePoints(f *gf.Field) [][3]int {
+	var pts [][3]int
+	for a := 0; a < f.Q; a++ {
+		for b := 0; b < f.Q; b++ {
+			pts = append(pts, [3]int{1, a, b})
+		}
+	}
+	for a := 0; a < f.Q; a++ {
+		pts = append(pts, [3]int{0, 1, a})
+	}
+	pts = append(pts, [3]int{0, 0, 1})
+	return pts
+}
+
+func dot(f *gf.Field, a, b [3]int) int {
+	s := f.Mul(a[0], b[0])
+	s = f.Add(s, f.Mul(a[1], b[1]))
+	return f.Add(s, f.Mul(a[2], b[2]))
+}
+
+// BDFRouters returns the number of routers of a Bermond-Delorme-Farhi graph
+// with network radix kp: Nr = 8/27 kp^3 - 4/9 kp^2 + 2/3 kp (Section II-C).
+func BDFRouters(kp int) int {
+	k := float64(kp)
+	return int(8.0/27.0*k*k*k - 4.0/9.0*k*k + 2.0/3.0*k)
+}
+
+// BDFRadix returns the network radix k' = 3(u+1)/2 of the BDF construction
+// for an odd prime power u.
+func BDFRadix(u int) int { return 3 * (u + 1) / 2 }
+
+// DELParams returns the Delorme-graph parameters for prime power v:
+// k' = (v+1)^2 and Nr = (v+1)^2 (v^2+1)^2 (Section II-C).
+func DELParams(v int) (kp, nr int) {
+	kp = (v + 1) * (v + 1)
+	vv := v*v + 1
+	return kp, kp * vv * vv
+}
+
+// StarProduct computes the * product G1 * G2 of Bermond, Delorme and Farhi
+// (Section II-C1a): vertices are V1 x V2; (a1,a2) ~ (b1,b2) iff either
+// a1 == b1 and {a2,b2} is an edge of G2, or (a1,b1) is an oriented arc of
+// G1 and b2 = f_(a1,b1)(a2). Arcs take the orientation u -> v with u < v,
+// and fmap supplies the per-arc bijection on V2 (identity if nil).
+func StarProduct(g1, g2 *graph.Graph, fmap func(u, v int, a2 int) int) *graph.Graph {
+	if fmap == nil {
+		fmap = func(_, _ int, a2 int) int { return a2 }
+	}
+	n1, n2 := g1.N(), g2.N()
+	out := graph.New(n1 * n2)
+	id := func(a1, a2 int) int { return a1*n2 + a2 }
+	// Rule 1: copies of G2 on each vertex of G1.
+	for a1 := 0; a1 < n1; a1++ {
+		for _, e := range g2.Edges() {
+			out.MustAddEdge(id(a1, int(e.U)), id(a1, int(e.V)))
+		}
+	}
+	// Rule 2: matchings across each arc of G1.
+	for _, e := range g1.Edges() {
+		u, v := int(e.U), int(e.V)
+		for a2 := 0; a2 < n2; a2++ {
+			out.AddEdgeIfAbsent(id(u, a2), id(v, fmap(u, v, a2)))
+		}
+	}
+	out.SortAdjacency()
+	return out
+}

@@ -1,0 +1,87 @@
+package dragonfly
+
+import (
+	"testing"
+
+	"slimfly/internal/topo"
+)
+
+func TestParamsPaperConfig(t *testing.T) {
+	// Section V: DF with k=27, p=7, Nr=1386, N=9702.
+	a, h, g, nr, n, k := Params(7)
+	if a != 14 || h != 7 || g != 99 || nr != 1386 || n != 9702 || k != 27 {
+		t.Errorf("Params(7) = a=%d h=%d g=%d nr=%d n=%d k=%d", a, h, g, nr, n, k)
+	}
+}
+
+func TestInvalid(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("New(0) succeeded")
+	}
+}
+
+func TestStructure(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 4} {
+		df := MustNew(p)
+		g := df.Graph()
+		a, h, grps, nr, _, _ := Params(p)
+		if g.N() != nr {
+			t.Fatalf("p=%d: Nr=%d, want %d", p, g.N(), nr)
+		}
+		// Every router: a-1 local + h global channels.
+		if d, reg := g.IsRegular(); !reg || d != a-1+h {
+			t.Fatalf("p=%d: degree=%d regular=%v, want %d", p, d, reg, a-1+h)
+		}
+		// Exactly one global channel between every pair of groups.
+		counts := make(map[[2]int]int)
+		for _, e := range g.Edges() {
+			gu, gv := df.Group(int(e.U)), df.Group(int(e.V))
+			if gu == gv {
+				continue
+			}
+			if gu > gv {
+				gu, gv = gv, gu
+			}
+			counts[[2]int{gu, gv}]++
+		}
+		if len(counts) != grps*(grps-1)/2 {
+			t.Fatalf("p=%d: %d connected group pairs, want %d", p, len(counts), grps*(grps-1)/2)
+		}
+		for pair, c := range counts {
+			if c != 1 {
+				t.Fatalf("p=%d: group pair %v has %d global channels, want 1", p, pair, c)
+			}
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	for _, p := range []int{2, 3} {
+		df := MustNew(p)
+		st := df.Graph().AllPairsStats()
+		if !st.Connected {
+			t.Fatalf("p=%d disconnected", p)
+		}
+		if st.Diameter != 3 {
+			t.Errorf("p=%d: diameter=%d, want 3", p, st.Diameter)
+		}
+	}
+}
+
+func TestForEndpoints(t *testing.T) {
+	p, ok := ForEndpoints(9702, 32)
+	if !ok || p != 7 {
+		t.Errorf("ForEndpoints(9702) = (%d,%v), want (7,true)", p, ok)
+	}
+	if _, ok := ForEndpoints(1<<30, 8); ok {
+		t.Error("impossible size satisfied")
+	}
+}
+
+func TestInterface(t *testing.T) {
+	var _ topo.Topology = MustNew(2)
+	df := MustNew(2)
+	if df.Radix() != 7 { // 4p-1
+		t.Errorf("radix = %d, want 7", df.Radix())
+	}
+}

@@ -1,0 +1,64 @@
+// Package hypercube implements the binary n-cube (HC, e.g. NASA Pleiades)
+// with concentration p = 1: N = 2^n routers of degree n, diameter n.
+package hypercube
+
+import (
+	"fmt"
+
+	"slimfly/internal/graph"
+	"slimfly/internal/topo"
+)
+
+// Hypercube is a binary n-dimensional hypercube.
+type Hypercube struct {
+	topo.Base
+	Dim int
+}
+
+// New constructs an n-dimensional hypercube, n >= 1.
+func New(n int) (*Hypercube, error) {
+	if n < 1 || n > 30 {
+		return nil, fmt.Errorf("hypercube: dimension %d out of range [1,30]", n)
+	}
+	hc := &Hypercube{Dim: n}
+	hc.TopoName = "HC"
+	hc.P = 1
+	hc.Kp = n
+	hc.Diam = n
+	size := 1 << n
+	hc.N = size
+
+	g := graph.New(size)
+	for u := 0; u < size; u++ {
+		for b := 0; b < n; b++ {
+			v := u ^ (1 << b)
+			if u < v {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+	g.SortAdjacency()
+	hc.G = g
+	if err := hc.Base.Validate(); err != nil {
+		return nil, err
+	}
+	return hc, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(n int) *Hypercube {
+	hc, err := New(n)
+	if err != nil {
+		panic(err)
+	}
+	return hc
+}
+
+// ForEndpoints returns the smallest dimension with at least n endpoints.
+func ForEndpoints(n int) int {
+	d := 1
+	for (1 << d) < n {
+		d++
+	}
+	return d
+}

@@ -1,0 +1,129 @@
+// Package random implements DLN random shortcut topologies (Koibuchi et
+// al., ISCA'12): a base ring of Nr routers with y additional random
+// shortcut edges initiated per router, giving average degree 2 + 2y. The
+// paper uses the balanced concentration p = floor(sqrt(k)).
+package random
+
+import (
+	"fmt"
+	"math"
+
+	"slimfly/internal/graph"
+	"slimfly/internal/stats"
+	"slimfly/internal/topo"
+)
+
+// DLN is a ring-plus-random-shortcuts topology (DLN-2-y).
+type DLN struct {
+	topo.Base
+	Y    int
+	Seed uint64
+}
+
+// New constructs a DLN with nr routers, y shortcuts initiated per router, a
+// deterministic seed, and concentration p endpoints per router.
+func New(nr, y, p int, seed uint64) (*DLN, error) {
+	if nr < 4 {
+		return nil, fmt.Errorf("random: nr=%d must be >= 4", nr)
+	}
+	if y < 1 {
+		return nil, fmt.Errorf("random: y=%d must be >= 1", y)
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("random: p=%d must be >= 1", p)
+	}
+	d := &DLN{Y: y, Seed: seed}
+	d.TopoName = "DLN"
+	d.P = p
+	d.N = nr * p
+
+	g := graph.New(nr)
+	for i := 0; i < nr; i++ {
+		g.MustAddEdge(i, (i+1)%nr)
+	}
+	// Each router receives y random shortcuts (DLN-2-y), so the degree is
+	// capped at 2 + y: draw random stub pairs, configuration-model style.
+	rng := stats.NewRNG(seed)
+	cap := 2 + y
+	var open []int32 // vertices with spare shortcut capacity
+	for u := 0; u < nr; u++ {
+		open = append(open, int32(u))
+	}
+	misses := 0
+	for len(open) > 1 && misses < 64*nr {
+		i := rng.Intn(len(open))
+		j := rng.Intn(len(open))
+		u, v := open[i], open[j]
+		if u == v || !g.AddEdgeIfAbsent(int(u), int(v)) {
+			misses++
+			continue
+		}
+		misses = 0
+		// Drop saturated vertices from the pool (check the higher index
+		// first so removal does not invalidate the other).
+		if i < j {
+			i, j = j, i
+			u, v = v, u
+		}
+		if g.Degree(int(u)) >= cap {
+			open[i] = open[len(open)-1]
+			open = open[:len(open)-1]
+		}
+		if g.Degree(int(v)) >= cap {
+			// v's position may have moved if it was the swapped tail.
+			for k2, w := range open {
+				if w == v {
+					open[k2] = open[len(open)-1]
+					open = open[:len(open)-1]
+					break
+				}
+			}
+		}
+	}
+	g.SortAdjacency()
+	d.G = g
+	d.Kp = g.MaxDegree()
+	ecc, conn := g.Eccentricity(0)
+	if !conn {
+		return nil, fmt.Errorf("random: generated DLN disconnected (nr=%d y=%d seed=%d)", nr, y, seed)
+	}
+	// The ring is not vertex-transitive once shortcuts are added; the
+	// eccentricity of vertex 0 is a lower bound, so refine with a few more
+	// sources for the reported design diameter.
+	for s := 1; s < nr && s < 8; s++ {
+		e, _ := g.Eccentricity(s * (nr / 8 % nr))
+		if e > ecc {
+			ecc = e
+		}
+	}
+	d.Diam = ecc
+	if err := d.Base.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(nr, y, p int, seed uint64) *DLN {
+	d, err := New(nr, y, p, seed)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// BalancedConcentration returns the paper's p = floor(sqrt(k)) for a DLN
+// with total radix k.
+func BalancedConcentration(k int) int { return int(math.Sqrt(float64(k))) }
+
+// Balanced constructs a DLN whose radix k matches the requested value:
+// y is chosen so the router degree (2 + 2y on average) plus p = floor(
+// sqrt(k)) fits within k.
+func Balanced(nr, k int, seed uint64) (*DLN, error) {
+	p := BalancedConcentration(k)
+	y := (k - p - 2) / 2
+	if y < 1 {
+		return nil, fmt.Errorf("random: radix %d too small for balanced DLN", k)
+	}
+	return New(nr, y, p, seed)
+}

@@ -1,0 +1,117 @@
+package random
+
+import (
+	"testing"
+
+	"slimfly/internal/topo"
+)
+
+func TestInvalid(t *testing.T) {
+	if _, err := New(3, 1, 1, 0); err == nil {
+		t.Error("nr=3 accepted")
+	}
+	if _, err := New(10, 0, 1, 0); err == nil {
+		t.Error("y=0 accepted")
+	}
+	if _, err := New(10, 1, 0, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+}
+
+func TestStructure(t *testing.T) {
+	d := MustNew(100, 3, 2, 42)
+	g := d.Graph()
+	if g.N() != 100 {
+		t.Fatalf("N=%d", g.N())
+	}
+	// Ring base plus y shortcuts per vertex (each shortcut serves two
+	// vertices): 100 + 100*3/2 edges.
+	if g.EdgeCount() != 250 {
+		t.Errorf("edges=%d, want 250", g.EdgeCount())
+	}
+	// DLN-2-y caps the degree at 2 + y.
+	if g.MaxDegree() > 5 {
+		t.Errorf("max degree %d exceeds 2+y=5", g.MaxDegree())
+	}
+	if d.Endpoints() != 200 {
+		t.Errorf("endpoints=%d", d.Endpoints())
+	}
+	if !g.IsConnected() {
+		t.Error("disconnected")
+	}
+	// Ring edges must be present.
+	for i := 0; i < 100; i++ {
+		if !g.HasEdge(i, (i+1)%100) {
+			t.Fatalf("missing ring edge %d", i)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := MustNew(64, 2, 1, 7)
+	b := MustNew(64, 2, 1, 7)
+	ea, eb := a.Graph().Edges(), b.Graph().Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("different edge counts %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+	c := MustNew(64, 2, 1, 8)
+	same := true
+	ec := c.Graph().Edges()
+	if len(ec) == len(ea) {
+		for i := range ea {
+			if ea[i] != ec[i] {
+				same = false
+				break
+			}
+		}
+	} else {
+		same = false
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestShortcutsLowerDiameter(t *testing.T) {
+	d := MustNew(256, 3, 1, 1)
+	// Plain 256-ring has diameter 128; with 3 shortcuts per vertex the
+	// paper reports diameters in the 3-10 range for DLN.
+	if d.DesignDiameter() > 12 {
+		t.Errorf("diameter=%d, want small-world shrinkage", d.DesignDiameter())
+	}
+	st := d.Graph().AllPairsStats()
+	if !st.Connected {
+		t.Fatal("disconnected")
+	}
+	if st.Diameter > 12 {
+		t.Errorf("measured diameter=%d", st.Diameter)
+	}
+}
+
+func TestBalanced(t *testing.T) {
+	d, err := Balanced(338, 25, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Concentration() != 5 { // floor(sqrt(25))
+		t.Errorf("p=%d, want 5", d.Concentration())
+	}
+	if _, err := Balanced(10, 3, 0); err == nil {
+		t.Error("tiny radix accepted")
+	}
+}
+
+func TestBalancedConcentration(t *testing.T) {
+	if BalancedConcentration(43) != 6 {
+		t.Errorf("p(43)=%d, want 6", BalancedConcentration(43))
+	}
+}
+
+func TestInterface(t *testing.T) {
+	var _ topo.Topology = MustNew(16, 1, 1, 0)
+}

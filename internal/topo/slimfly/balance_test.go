@@ -1,0 +1,64 @@
+package slimfly
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyticChannelLoadMatchesMeasured(t *testing.T) {
+	// The paper's channel-load derivation (Section II-B2) assumes routes
+	// spread evenly; the measured mean over deterministic minimal routes
+	// must match the analytic mean exactly (every route has a fixed
+	// length, so the mean is construction-independent).
+	for _, q := range []int{5, 7, 9} {
+		sf := MustNew(q)
+		analytic := sf.AnalyticChannelLoad()
+		mean, max := sf.MeasuredChannelLoad()
+		if d := math.Abs(mean-analytic) / analytic; d > 0.01 {
+			t.Errorf("q=%d: measured mean load %.2f vs analytic %.2f", q, mean, analytic)
+		}
+		if max < mean {
+			t.Errorf("q=%d: max %v < mean %v", q, max, mean)
+		}
+	}
+}
+
+func TestBalancedConfigurationsAreBalanced(t *testing.T) {
+	// p = ceil(k'/2) must satisfy the full-injection condition.
+	for _, q := range []int{5, 7, 9, 11, 13, 17, 19} {
+		sf := MustNew(q)
+		if !sf.IsBalanced() {
+			t.Errorf("q=%d: balanced concentration p=%d fails the balance condition", q, sf.Concentration())
+		}
+	}
+}
+
+func TestOversubscriptionBreaksBalance(t *testing.T) {
+	// Doubling p must violate the balance condition (Section V-E's
+	// oversubscribed networks cannot sustain full injection).
+	kp, _, _, _ := Params(9)
+	sf, err := NewWithConcentration(9, 2*BalancedConcentration(kp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.IsBalanced() {
+		t.Error("doubled concentration still reported balanced")
+	}
+}
+
+func TestPathDiversity(t *testing.T) {
+	// Hoffman-Singleton is a Moore graph: exactly ONE minimal path
+	// between any two non-adjacent routers.
+	sf := MustNew(5)
+	if d := sf.PathDiversity(); d != 1 {
+		t.Errorf("HS path diversity = %v, want exactly 1", d)
+	}
+	// Larger (non-Moore) MMS graphs have minimal-path diversity strictly
+	// above 1: some distance-2 pairs enjoy several common neighbours
+	// (most of SF's resiliency comes from the abundant non-minimal paths
+	// on top of this, Section III-D1).
+	sf13 := MustNew(13)
+	if d := sf13.PathDiversity(); d <= 1.0 {
+		t.Errorf("q=13 path diversity = %v, want > 1", d)
+	}
+}

@@ -1,0 +1,39 @@
+package slimfly_test
+
+import (
+	"fmt"
+
+	"slimfly/internal/topo/slimfly"
+)
+
+// Building the Hoffman-Singleton Slim Fly (the paper's worked example,
+// Section II-B1d) and reading off its parameters.
+func ExampleNew() {
+	sf, err := slimfly.New(5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("routers:", sf.Routers())
+	fmt.Println("network radix:", sf.NetworkRadix())
+	fmt.Println("endpoints:", sf.Endpoints())
+	fmt.Println("X:", sf.X, "X':", sf.Xp)
+	// Output:
+	// routers: 50
+	// network radix: 7
+	// endpoints: 200
+	// X: [1 4] X': [2 3]
+}
+
+// Finding the largest Slim Fly that a 108-port director switch can host.
+func ExampleForRadix() {
+	q, ok := slimfly.ForRadix(108)
+	if !ok {
+		panic("no configuration")
+	}
+	sf, _ := slimfly.New(q)
+	fmt.Println("q:", q)
+	fmt.Println("endpoints:", sf.Endpoints())
+	// Output:
+	// q: 47
+	// endpoints: 159048
+}

@@ -1,0 +1,121 @@
+package slimfly
+
+import (
+	"fmt"
+	"math"
+
+	"slimfly/internal/stats"
+)
+
+// Extensions from Section VII of the paper ("Discussion"), implemented as
+// the future work the authors outline.
+
+// NewWithRandomShortcuts builds a Slim Fly and then fills `extra` unused
+// ports per router with random shortcut channels (Section VII-A: "add
+// random channels to utilize empty ports of routers with radix > k",
+// combining SF with the random-shortcut ideas of Koibuchi et al.). The
+// added edges are drawn uniformly, capped so no router exceeds k' + extra
+// network ports; the result keeps diameter <= 2 and improves average
+// distance.
+func NewWithRandomShortcuts(q, extra int, seed uint64) (*SlimFly, error) {
+	if extra < 1 {
+		return nil, fmt.Errorf("slimfly: extra=%d shortcuts must be >= 1", extra)
+	}
+	sf, err := New(q)
+	if err != nil {
+		return nil, err
+	}
+	g := sf.G
+	cap := sf.Kp + extra
+	rng := stats.NewRNG(seed)
+	n := g.N()
+	// Configuration-model pairing among routers with spare ports.
+	misses := 0
+	for misses < 64*n {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v || g.Degree(u) >= cap || g.Degree(v) >= cap {
+			misses++
+			continue
+		}
+		if !g.AddEdgeIfAbsent(u, v) {
+			misses++
+			continue
+		}
+		misses = 0
+	}
+	g.SortAdjacency()
+	sf.Kp = g.MaxDegree()
+	sf.TopoName = "SF+rand"
+	if err := sf.Base.Validate(); err != nil {
+		return nil, err
+	}
+	return sf, nil
+}
+
+// SpectralGap estimates the expansion of the router graph (the paper's
+// conclusion attributes SF's resiliency to expander-like structure,
+// Section IX): it returns the second-largest adjacency eigenvalue
+// lambda2 of the k'-regular graph, computed by power iteration with
+// deflation of the all-ones eigenvector (the returned value is the
+// largest non-trivial |eigenvalue|). Smaller lambda2 / k' means better
+// expansion; Ramanujan graphs reach 2*sqrt(k'-1).
+func (sf *SlimFly) SpectralGap(iters int) (lambda2 float64) {
+	g := sf.Graph()
+	n := g.N()
+	if iters <= 0 {
+		iters = 200
+	}
+	// Start from a deterministic pseudo-random vector orthogonal to 1.
+	rng := stats.NewRNG(12345)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64() - 0.5
+	}
+	next := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		// Deflate the trivial eigenvector (all ones).
+		mean := 0.0
+		for _, x := range v {
+			mean += x
+		}
+		mean /= float64(n)
+		for i := range v {
+			v[i] -= mean
+		}
+		// next = A v.
+		for i := range next {
+			next[i] = 0
+		}
+		for u := 0; u < n; u++ {
+			for _, w := range g.Neighbors(u) {
+				next[u] += v[w]
+			}
+		}
+		// Normalise.
+		norm := 0.0
+		for _, x := range next {
+			norm += x * x
+		}
+		if norm == 0 {
+			return 0
+		}
+		norm = math.Sqrt(norm)
+		for i := range next {
+			next[i] /= norm
+		}
+		v, next = next, v
+	}
+	// Rayleigh quotient (v is unit-norm).
+	lam := 0.0
+	for u := 0; u < n; u++ {
+		s := 0.0
+		for _, w := range g.Neighbors(u) {
+			s += v[w]
+		}
+		lam += v[u] * s
+	}
+	if lam < 0 {
+		lam = -lam
+	}
+	return lam
+}

@@ -1,0 +1,79 @@
+package slimfly
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewWithRandomShortcuts(t *testing.T) {
+	base := MustNew(5)
+	aug, err := NewWithRandomShortcuts(5, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWithRandomShortcuts(5, 0, 7); err == nil {
+		t.Error("extra=0 accepted")
+	}
+	// More edges, same routers, degree capped at k'+extra.
+	if aug.Routers() != base.Routers() {
+		t.Fatalf("router count changed")
+	}
+	if aug.Graph().EdgeCount() <= base.Graph().EdgeCount() {
+		t.Error("no shortcuts added")
+	}
+	if aug.Graph().MaxDegree() > base.NetworkRadix()+4 {
+		t.Errorf("degree %d exceeds cap %d", aug.Graph().MaxDegree(), base.NetworkRadix()+4)
+	}
+	// Section VII-A: shortcuts "additionally improve the latency and
+	// bandwidth": average distance must strictly drop, diameter stay <= 2.
+	bs := base.Graph().AllPairsStats()
+	as := aug.Graph().AllPairsStats()
+	if as.Diameter > 2 {
+		t.Errorf("augmented diameter = %d", as.Diameter)
+	}
+	if as.AvgDist >= bs.AvgDist {
+		t.Errorf("augmented avg distance %v >= base %v", as.AvgDist, bs.AvgDist)
+	}
+	// All original MMS edges preserved.
+	for _, e := range base.Graph().Edges() {
+		if !aug.Graph().HasEdge(int(e.U), int(e.V)) {
+			t.Fatalf("original edge %v lost", e)
+		}
+	}
+}
+
+func TestRandomShortcutsDeterministic(t *testing.T) {
+	a, _ := NewWithRandomShortcuts(5, 2, 42)
+	b, _ := NewWithRandomShortcuts(5, 2, 42)
+	ea, eb := a.Graph().Edges(), b.Graph().Edges()
+	if len(ea) != len(eb) {
+		t.Fatal("edge counts differ")
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatal("graphs differ for same seed")
+		}
+	}
+}
+
+func TestSpectralGapExpander(t *testing.T) {
+	// The paper's conclusion (Section IX) credits SF's resiliency to
+	// expander structure. Hoffman-Singleton's non-trivial eigenvalues are
+	// exactly 2 and -3, so the power iteration must report ~3 -- well
+	// within the Ramanujan bound 2*sqrt(k'-1) = 4.9.
+	sf := MustNew(5)
+	lam := sf.SpectralGap(400)
+	if math.Abs(lam-3) > 0.05 {
+		t.Errorf("HS lambda2 = %v, want ~3", lam)
+	}
+	ram := 2 * math.Sqrt(float64(sf.NetworkRadix()-1))
+	if lam > ram {
+		t.Errorf("lambda2 %v above the Ramanujan bound %v", lam, ram)
+	}
+	// A larger SF stays a strong expander: lambda2 well below k'.
+	sf13 := MustNew(13)
+	lam13 := sf13.SpectralGap(300)
+	if lam13 >= float64(sf13.NetworkRadix())/2 {
+		t.Errorf("q=13 lambda2 = %v, want < k'/2 = %v", lam13, float64(sf13.NetworkRadix())/2)
+	}
+}

@@ -1,0 +1,290 @@
+// Package slimfly implements the paper's primary contribution: the Slim Fly
+// SF MMS topology (Section II-B), built from the McKay-Miller-Siran graph
+// family over GF(q) for prime powers q = 4w + delta, delta in {-1, 0, +1}.
+//
+// The construction follows Section II-B1 exactly:
+//
+//  1. Build the base field GF(q) and find a primitive element xi.
+//  2. Build the generator sets X and X' from powers of xi (the delta = +1
+//     formulae appear in the paper; the delta = -1 and delta = 0 cases follow
+//     Hafner's geometric realisation, see [35] in the paper).
+//  3. Routers are {0,1} x GF(q) x GF(q), connected by
+//     (0,x,y) ~ (0,x,y')  iff  y - y'  in X      (Eq. 1)
+//     (1,m,c) ~ (1,m,c')  iff  c - c'  in X'     (Eq. 2)
+//     (0,x,y) ~ (1,m,c)   iff  y = m*x + c       (Eq. 3)
+//
+// This yields Nr = 2q^2 routers of network radix k' = (3q - delta)/2 and
+// diameter 2. Attaching p ~ ceil(k'/2) endpoints per router (Section II-B2)
+// gives a balanced, full-global-bandwidth network.
+package slimfly
+
+import (
+	"fmt"
+	"sort"
+
+	"slimfly/internal/gf"
+	"slimfly/internal/graph"
+	"slimfly/internal/topo"
+)
+
+// SlimFly is the SF MMS topology for a given prime power q.
+type SlimFly struct {
+	topo.Base
+	Q     int // base field order
+	Delta int // q = 4w + delta
+	W     int
+	F     *gf.Field
+	X     []int // generator set for subgraph 0 (Eq. 1)
+	Xp    []int // generator set X' for subgraph 1 (Eq. 2)
+}
+
+// Params reports the analytic parameters for a Slim Fly with the given q:
+// network radix k' and router count Nr. ok is false if q is not a valid MMS
+// order (prime power of the form 4w + delta).
+func Params(q int) (kp, nr, delta int, ok bool) {
+	if _, _, isPP := gf.PrimePower(q); !isPP {
+		return 0, 0, 0, false
+	}
+	switch q % 4 {
+	case 1:
+		delta = 1
+	case 3:
+		delta = -1
+	case 0:
+		delta = 0
+	default: // q % 4 == 2 means q = 2, not usable
+		return 0, 0, 0, false
+	}
+	return (3*q - delta) / 2, 2 * q * q, delta, true
+}
+
+// BalancedConcentration returns the paper's full-global-bandwidth
+// concentration p = ceil(k'/2) for the given network radix (Section II-B2).
+func BalancedConcentration(kp int) int { return (kp + 1) / 2 }
+
+// New constructs a balanced Slim Fly for prime power q, with
+// p = ceil(k'/2) endpoints per router.
+func New(q int) (*SlimFly, error) {
+	kp, _, _, ok := Params(q)
+	if !ok {
+		return nil, fmt.Errorf("slimfly: q=%d is not a prime power of the form 4w+delta, delta in {-1,0,1}", q)
+	}
+	return NewWithConcentration(q, BalancedConcentration(kp))
+}
+
+// NewWithConcentration constructs a Slim Fly with an explicit concentration
+// p (used by the oversubscription study in Section V-E, where p ranges from
+// 16 to 21 on the q = 19 network).
+func NewWithConcentration(q, p int) (*SlimFly, error) {
+	kp, nr, delta, ok := Params(q)
+	if !ok {
+		return nil, fmt.Errorf("slimfly: q=%d is not a prime power of the form 4w+delta, delta in {-1,0,1}", q)
+	}
+	if p <= 0 {
+		return nil, fmt.Errorf("slimfly: concentration p=%d must be positive", p)
+	}
+	f, err := gf.New(q)
+	if err != nil {
+		return nil, fmt.Errorf("slimfly: %w", err)
+	}
+	w := (q - delta) / 4
+
+	x, xp, err := generatorSets(f, delta, w)
+	if err != nil {
+		return nil, err
+	}
+
+	sf := &SlimFly{
+		Q: q, Delta: delta, W: w, F: f, X: x, Xp: xp,
+	}
+	sf.TopoName = "SF"
+	sf.P = p
+	sf.Kp = kp
+	sf.Diam = 2
+	sf.N = p * nr
+	sf.G = buildGraph(f, x, xp)
+	sf.G.SortAdjacency()
+	if err := sf.Base.Validate(); err != nil {
+		return nil, err
+	}
+	return sf, nil
+}
+
+// MustNew is New but panics on error.
+func MustNew(q int) *SlimFly {
+	sf, err := New(q)
+	if err != nil {
+		panic(err)
+	}
+	return sf
+}
+
+// generatorSets builds X and X' for the three residue classes of q mod 4.
+//
+// delta = +1 (q = 4w+1): the multiplicative group has even order with
+// -1 a quadratic residue, so the even powers of xi (the nonzero squares)
+// form a symmetric set:
+//
+//	X  = {1, xi^2, xi^4, ..., xi^(q-3)}   (paper, Section II-B1b)
+//	X' = {xi, xi^3,  ..., xi^(q-2)}
+//
+// delta = -1 (q = 4w-1): -1 is a non-residue, so plain even powers are not
+// symmetric; Hafner's realisation uses the union of plus/minus low even
+// (resp. odd) powers:
+//
+//	X  = {+-xi^(2i) : 0 <= i < w}
+//	X' = {+-xi^(2i+1) : 0 <= i < w}
+//
+// delta = 0 (q = 4w, char 2): -1 = 1, so every set is symmetric. Two
+// consecutive windows of powers, overlapping in one element, satisfy the
+// diameter-2 conditions (X u X' covers GF(q)*, and each set plus its sumset
+// covers GF(q)*; verified for every q in the library by the test suite):
+//
+//	X  = {xi^i : 0 <= i < 2w}
+//	X' = {xi^i : 2w-1 <= i < 4w-1}
+func generatorSets(f *gf.Field, delta, w int) (x, xp []int, err error) {
+	xi := f.PrimitiveElement()
+	switch delta {
+	case 1:
+		for i := 0; i < 2*w; i++ { // (q-1)/2 = 2w even powers
+			x = append(x, f.Pow(xi, 2*i))
+			xp = append(xp, f.Pow(xi, 2*i+1))
+		}
+	case -1:
+		for i := 0; i < w; i++ {
+			e := f.Pow(xi, 2*i)
+			o := f.Pow(xi, 2*i+1)
+			x = append(x, e, f.Neg(e))
+			xp = append(xp, o, f.Neg(o))
+		}
+	case 0:
+		for i := 0; i < 2*w; i++ {
+			x = append(x, f.Pow(xi, i))
+			xp = append(xp, f.Pow(xi, 2*w-1+i))
+		}
+	default:
+		return nil, nil, fmt.Errorf("slimfly: invalid delta %d", delta)
+	}
+	x = dedupeSorted(x)
+	xp = dedupeSorted(xp)
+	want := (f.Q - delta) / 2
+	if len(x) != want || len(xp) != want {
+		return nil, nil, fmt.Errorf("slimfly: generator sets have sizes |X|=%d |X'|=%d, want %d (q=%d delta=%d)",
+			len(x), len(xp), want, f.Q, delta)
+	}
+	if !symmetric(f, x) || !symmetric(f, xp) {
+		return nil, nil, fmt.Errorf("slimfly: generator sets not symmetric for q=%d", f.Q)
+	}
+	return x, xp, nil
+}
+
+func dedupeSorted(s []int) []int {
+	sort.Ints(s)
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// symmetric reports whether set = -set, the condition for Eqs. (1)-(2) to
+// define undirected edges.
+func symmetric(f *gf.Field, set []int) bool {
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for _, v := range set {
+		if !in[f.Neg(v)] {
+			return false
+		}
+	}
+	return true
+}
+
+// RouterID maps a router label (s, a, b) -- s in {0,1}, a,b in GF(q) -- to
+// its dense vertex id. Subgraph 0 routers are (0, x, y); subgraph 1 routers
+// are (1, m, c).
+func (sf *SlimFly) RouterID(s, a, b int) int {
+	return s*sf.Q*sf.Q + a*sf.Q + b
+}
+
+// RouterLabel is the inverse of RouterID.
+func (sf *SlimFly) RouterLabel(id int) (s, a, b int) {
+	q := sf.Q
+	s = id / (q * q)
+	rem := id % (q * q)
+	return s, rem / q, rem % q
+}
+
+func buildGraph(f *gf.Field, x, xp []int) *graph.Graph {
+	q := f.Q
+	g := graph.New(2 * q * q)
+	id0 := func(xx, yy int) int { return xx*q + yy }
+	id1 := func(mm, cc int) int { return q*q + mm*q + cc }
+
+	// Eq. (1): (0,x,y) ~ (0,x,y') iff y - y' in X.
+	// Eq. (2): (1,m,c) ~ (1,m,c') iff c - c' in X'.
+	for a := 0; a < q; a++ {
+		for b := 0; b < q; b++ {
+			for _, d := range x {
+				b2 := f.Add(b, d)
+				if b < b2 { // add each undirected edge once
+					g.MustAddEdge(id0(a, b), id0(a, b2))
+				}
+			}
+			for _, d := range xp {
+				b2 := f.Add(b, d)
+				if b < b2 {
+					g.MustAddEdge(id1(a, b), id1(a, b2))
+				}
+			}
+		}
+	}
+	// Eq. (3): (0,x,y) ~ (1,m,c) iff y = m*x + c.
+	for m := 0; m < q; m++ {
+		for xx := 0; xx < q; xx++ {
+			mx := f.Mul(m, xx)
+			for c := 0; c < q; c++ {
+				g.MustAddEdge(id0(xx, f.Add(mx, c)), id1(m, c))
+			}
+		}
+	}
+	return g
+}
+
+// ValidOrders returns the prime powers q in [lo, hi] usable for SF MMS,
+// i.e. the library of constructible Slim Fly configurations (Section VII-A).
+func ValidOrders(lo, hi int) []int {
+	var qs []int
+	for q := lo; q <= hi; q++ {
+		if _, _, _, ok := Params(q); ok {
+			qs = append(qs, q)
+		}
+	}
+	return qs
+}
+
+// ForRadix returns the largest valid q whose balanced Slim Fly fits router
+// radix k (k' + p <= k), or ok=false if none exists. This answers the
+// "network architects must adjust to existing routers" question of
+// Section VII-A.
+func ForRadix(k int) (q int, ok bool) {
+	best := 0
+	for cand := 3; ; cand++ {
+		kp, _, _, valid := Params(cand)
+		if valid {
+			if kp+BalancedConcentration(kp) <= k {
+				best = cand
+			} else if kp > k {
+				break
+			}
+		}
+		if cand > 4*k {
+			break
+		}
+	}
+	return best, best != 0
+}

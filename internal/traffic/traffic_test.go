@@ -1,0 +1,188 @@
+package traffic
+
+import (
+	"testing"
+
+	"slimfly/internal/route"
+	"slimfly/internal/stats"
+	"slimfly/internal/topo/dragonfly"
+	"slimfly/internal/topo/fattree"
+	"slimfly/internal/topo/slimfly"
+)
+
+func TestUniform(t *testing.T) {
+	u := Uniform{N: 16}
+	rng := stats.NewRNG(1)
+	counts := make([]int, 16)
+	for i := 0; i < 16000; i++ {
+		d := u.Dest(3, rng)
+		if d == 3 {
+			t.Fatal("uniform generated self-traffic")
+		}
+		if d < 0 || d >= 16 {
+			t.Fatalf("dest %d out of range", d)
+		}
+		counts[d]++
+	}
+	for d, c := range counts {
+		if d == 3 {
+			continue
+		}
+		if c < 800 || c > 1400 { // expectation ~1067
+			t.Errorf("dest %d drawn %d times, expected ~1067", d, c)
+		}
+	}
+}
+
+func TestShufflePattern(t *testing.T) {
+	p := Shuffle(16)
+	// b = 4 bits: shuffle of 0b0110 (6) = 0b1100 (12).
+	if got := p.Dest(6, nil); got != 12 {
+		t.Errorf("shuffle(6) = %d, want 12", got)
+	}
+	// MSB wraps: 0b1000 (8) -> 0b0001 (1).
+	if got := p.Dest(8, nil); got != 1 {
+		t.Errorf("shuffle(8) = %d, want 1", got)
+	}
+}
+
+func TestBitReversal(t *testing.T) {
+	p := BitReversal(16)
+	if got := p.Dest(1, nil); got != 8 { // 0001 -> 1000
+		t.Errorf("bitrev(1) = %d, want 8", got)
+	}
+	if got := p.Dest(6, nil); got != 6 { // 0110 -> 0110 palindrome
+		t.Errorf("bitrev(6) = %d, want 6", got)
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	p := BitComplement(16)
+	if got := p.Dest(0, nil); got != 15 {
+		t.Errorf("bitcomp(0) = %d, want 15", got)
+	}
+	if got := p.Dest(5, nil); got != 10 {
+		t.Errorf("bitcomp(5) = %d, want 10", got)
+	}
+}
+
+func TestPermutationInactiveEndpoints(t *testing.T) {
+	// N = 20 -> 16 active, 4 inactive.
+	p := BitReversal(20)
+	for s := 16; s < 20; s++ {
+		if p.Dest(s, nil) != -1 {
+			t.Errorf("endpoint %d should be inactive", s)
+		}
+	}
+	active := 0
+	for s := 0; s < 20; s++ {
+		if p.Dest(s, nil) >= 0 {
+			active++
+		}
+	}
+	if active != 16 {
+		t.Errorf("active = %d, want 16", active)
+	}
+}
+
+func TestShift(t *testing.T) {
+	sh := Shift{N: 64}
+	rng := stats.NewRNG(2)
+	// The paper's two options for source s are (s mod N/2) and
+	// (s mod N/2) + N/2; one of them is always s itself, so with
+	// self-traffic excluded the pattern resolves to the cross-half
+	// partner (s + N/2) mod N.
+	for _, s := range []int{0, 5, 31, 32, 37, 63} {
+		for i := 0; i < 20; i++ {
+			d := sh.Dest(s, rng)
+			if d == s {
+				t.Fatalf("shift generated self-traffic at %d", s)
+			}
+			if d != (s+32)%64 {
+				t.Fatalf("shift(%d) = %d, want %d", s, d, (s+32)%64)
+			}
+		}
+	}
+}
+
+func TestWorstCaseSF(t *testing.T) {
+	sf := slimfly.MustNew(5)
+	tb := route.Build(sf.Graph())
+	p := WorstCaseSF(sf, tb, 3)
+	if err := Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	// The pattern must concentrate many length-2 routes over single links:
+	// count routed flows per directed link and check the maximum exceeds
+	// what uniform traffic would put there on average.
+	loads := make(map[[2]int32]int)
+	flows := 0
+	for s, d := range p.Dests {
+		if d < 0 {
+			continue
+		}
+		flows++
+		rs, rd := sf.EndpointRouter(s), sf.EndpointRouter(int(d))
+		cur := int32(rs)
+		for cur != int32(rd) {
+			nxt := tb.NextHop(int(cur), rd)
+			loads[[2]int32{cur, nxt}]++
+			cur = nxt
+		}
+	}
+	if flows < sf.Endpoints()*9/10 {
+		t.Errorf("only %d/%d endpoints active", flows, sf.Endpoints())
+	}
+	max := 0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	// Paper: worst-case limits MIN throughput to ~1/(p+1), i.e. the
+	// hottest link carries about p+1 flows (p = 4 for q = 5).
+	if max < sf.Concentration() {
+		t.Errorf("hottest link carries %d flows, want >= p = %d", max, sf.Concentration())
+	}
+}
+
+func TestWorstCaseDF(t *testing.T) {
+	df := dragonfly.MustNew(2)
+	p := WorstCaseDF(df.Group, df, df.Gn)
+	if err := Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	// Every flow crosses into the next group.
+	perGroup := df.Endpoints() / df.Gn
+	for s, d := range p.Dests {
+		gs, gd := s/perGroup, int(d)/perGroup
+		if (gs+1)%df.Gn != gd {
+			t.Fatalf("flow %d->%d goes group %d->%d", s, d, gs, gd)
+		}
+	}
+}
+
+func TestWorstCaseFT(t *testing.T) {
+	ft := fattree.MustNew(4)
+	p := WorstCaseFT(ft.Arity, ft)
+	if err := Validate(p); err != nil {
+		t.Fatal(err)
+	}
+	perPod := ft.Endpoints() / ft.Arity
+	for s, d := range p.Dests {
+		if s/perPod == int(d)/perPod {
+			t.Fatalf("flow %d->%d stays in pod", s, d)
+		}
+	}
+}
+
+func TestValidateCatchesDuplicates(t *testing.T) {
+	p := &Permutation{PatternName: "bad", Dests: []int32{1, 1, -1}}
+	if Validate(p) == nil {
+		t.Error("duplicate destination not caught")
+	}
+	p2 := &Permutation{PatternName: "self", Dests: []int32{0}}
+	if Validate(p2) == nil {
+		t.Error("self-loop not caught")
+	}
+}
