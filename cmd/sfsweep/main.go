@@ -1,0 +1,197 @@
+// Command sfsweep orchestrates simulation sweeps: it expands a declarative
+// JSON spec (topologies x routing algorithms x traffic patterns x load grid
+// x seeds) into a deterministic job list, runs it on a sharded
+// work-stealing pool with one worker per core, serves repeated points from
+// a content-addressed on-disk cache, and writes an artifact directory with
+// the results as JSON and CSV.
+//
+// Usage:
+//
+//	sfsweep -spec examples/sweeps/fig6a.json -out sweep-out
+//	sfsweep -spec spec.json -dry-run          # print the job list and exit
+//
+// Interrupting a sweep (Ctrl-C) stops it cleanly after the in-flight jobs;
+// finished points are already in the cache, so re-running the same command
+// resumes where it left off instead of recomputing.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"runtime"
+	"syscall"
+	"time"
+
+	"slimfly/internal/export"
+	"slimfly/internal/sweep"
+)
+
+func main() {
+	var (
+		specPath = flag.String("spec", "", "sweep spec file (JSON object or array; '-' for stdin)")
+		outDir   = flag.String("out", "sweep-out", "artifact directory")
+		cacheDir = flag.String("cache", "", "result cache directory (default <out>/cache)")
+		workers  = flag.Int("workers", 0, "pool width (default: one per core)")
+		interval = flag.Duration("progress", 2*time.Second, "progress report interval (0 disables)")
+		dryRun   = flag.Bool("dry-run", false, "print the expanded job list and exit")
+		noCache  = flag.Bool("no-cache", false, "execute every job, ignoring and not writing the cache")
+	)
+	flag.Parse()
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "sfsweep: -spec required")
+		os.Exit(2)
+	}
+
+	specs, err := readSpecs(*specPath)
+	if err != nil {
+		fail(err)
+	}
+	jobs, err := sweep.ExpandAll(specs)
+	if err != nil {
+		fail(err)
+	}
+	if *dryRun {
+		for i, j := range jobs {
+			fmt.Printf("%4d %s %s\n", i, j.Key()[:12], j.Label())
+		}
+		fmt.Printf("%d jobs\n", len(jobs))
+		return
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fail(err)
+	}
+	var cache *sweep.Cache
+	if !*noCache {
+		dir := *cacheDir
+		if dir == "" {
+			dir = filepath.Join(*outDir, "cache")
+		}
+		if cache, err = sweep.OpenCache(dir); err != nil {
+			fail(err)
+		}
+	}
+
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "sfsweep: %d jobs on %d workers", len(jobs), nw)
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, ", cache %s", cache.Dir())
+	}
+	fmt.Fprintln(os.Stderr)
+
+	// Ctrl-C cancels the pool after in-flight jobs; finished points are
+	// already cached, so the next run resumes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	prog := sweep.NewProgress(len(jobs), nw)
+	var ticker *time.Ticker
+	stopTick := make(chan struct{})
+	if *interval > 0 {
+		ticker = time.NewTicker(*interval)
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					fmt.Fprintf(os.Stderr, "sfsweep: %s\n", prog.Snapshot())
+				case <-stopTick:
+					return
+				}
+			}
+		}()
+	}
+
+	results, stats, runErr := sweep.RunJobs(ctx, jobs, sweep.NewEnv(), sweep.Options{
+		Workers: nw,
+		Cache:   cache,
+		OnDone: func(_ int, r sweep.JobResult) {
+			prog.Observe(r)
+			if r.Err != "" {
+				fmt.Fprintf(os.Stderr, "sfsweep: FAILED %s: %s\n", r.Job.Label(), r.Err)
+			}
+		},
+	})
+	if ticker != nil {
+		ticker.Stop()
+		close(stopTick)
+	}
+
+	if err := writeArtifacts(*outDir, specs, results, stats); err != nil {
+		fail(err)
+	}
+	snap := prog.Snapshot()
+	snap.ETA = 0 // final summary: nothing left to estimate
+	fmt.Fprintf(os.Stderr, "sfsweep: %s in %s -> %s\n", snap, snap.Elapsed.Round(time.Millisecond), *outDir)
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "sfsweep: interrupted (%d jobs not run); re-run to resume\n", stats.Skipped)
+		os.Exit(130)
+	}
+	if stats.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func readSpecs(path string) ([]*sweep.Spec, error) {
+	if path == "-" {
+		return sweep.ParseSpecs(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return sweep.ParseSpecs(f)
+}
+
+// writeArtifacts writes results.json (full artifact: specs, stats, per-job
+// results) and results.csv (finished jobs only) into dir.
+func writeArtifacts(dir string, specs []*sweep.Spec, results []sweep.JobResult, stats sweep.Stats) error {
+	art := export.SweepArtifact{Stats: stats, Results: finished(results)}
+	if len(specs) == 1 {
+		art.Spec = specs[0]
+	}
+	jf, err := os.Create(filepath.Join(dir, "results.json"))
+	if err != nil {
+		return err
+	}
+	if err := export.WriteSweepJSON(jf, art); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	cf, err := os.Create(filepath.Join(dir, "results.csv"))
+	if err != nil {
+		return err
+	}
+	if err := export.WriteSweepCSV(cf, art.Results); err != nil {
+		cf.Close()
+		return err
+	}
+	return cf.Close()
+}
+
+// finished filters out the zero-valued slots of jobs never reached before
+// a cancellation.
+func finished(results []sweep.JobResult) []sweep.JobResult {
+	out := make([]sweep.JobResult, 0, len(results))
+	for _, r := range results {
+		if r.Key != "" || r.Err != "" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sfsweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module slimfly
+
+go 1.24

@@ -1,13 +1,13 @@
 package exp
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"slimfly/internal/roster"
 	"slimfly/internal/route"
 	"slimfly/internal/sim"
+	"slimfly/internal/sweep"
 	"slimfly/internal/topo"
 	"slimfly/internal/topo/fattree"
 	"slimfly/internal/topo/slimfly"
@@ -81,88 +81,69 @@ type runSpec struct {
 	load    float64
 }
 
-// runAll executes the specs in parallel (each simulation is
-// single-threaded and deterministic) and returns results in order.
+// runAll executes the specs on the sweep engine's work-stealing pool
+// (each simulation is single-threaded and deterministic) and returns
+// results in order. The networks and patterns are pre-built, so the tasks
+// carry closures rather than declarative jobs; the per-index seed scheme
+// keeps results bit-identical to sequential execution.
 func runAll(specs []runSpec, sc PerfScale, seed uint64) []sim.Result {
-	results := make([]sim.Result, len(specs))
-	nw := runtime.GOMAXPROCS(0)
-	if nw > len(specs) {
-		nw = len(specs)
-	}
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < nw; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				s, err := sim.New(sim.Config{
-					Topo: specs[i].tp, Tables: specs[i].tb, Algo: specs[i].algo,
-					Pattern: specs[i].pattern, Load: specs[i].load,
-					Warmup: sc.Warmup, Measure: sc.Measure, Drain: sc.Drain,
-					Seed: seed + uint64(i)*7919,
-				})
-				if err != nil {
-					panic(err)
-				}
-				results[i] = s.Run()
-			}
-		}()
-	}
+	tasks := make([]sweep.Task, len(specs))
 	for i := range specs {
-		work <- i
+		i := i
+		tasks[i] = sweep.Task{Build: func() (sim.Config, error) {
+			return sim.Config{
+				Topo: specs[i].tp, Tables: specs[i].tb, Algo: specs[i].algo,
+				Pattern: specs[i].pattern, Load: specs[i].load,
+				Warmup: sc.Warmup, Measure: sc.Measure, Drain: sc.Drain,
+				Seed: seed + uint64(i)*7919,
+			}, nil
+		}}
 	}
-	close(work)
-	wg.Wait()
+	jrs, _, err := sweep.RunTasks(context.Background(), tasks, sweep.Options{})
+	if err != nil {
+		panic(err)
+	}
+	results := make([]sim.Result, len(specs))
+	for i, jr := range jrs {
+		if jr.Err != "" {
+			panic(jr.Err)
+		}
+		results[i] = jr.Result
+	}
+	return results
+}
+
+// runConfigs executes fully built simulator configurations on the sweep
+// pool and returns results in order; used by the experiments whose knobs
+// (buffer depth, oversubscription) live outside the runSpec shape.
+func runConfigs(cfgs []sim.Config) []sim.Result {
+	tasks := make([]sweep.Task, len(cfgs))
+	for i := range cfgs {
+		cfg := cfgs[i]
+		tasks[i] = sweep.Task{Build: func() (sim.Config, error) { return cfg, nil }}
+	}
+	jrs, _, err := sweep.RunTasks(context.Background(), tasks, sweep.Options{})
+	if err != nil {
+		panic(err)
+	}
+	results := make([]sim.Result, len(cfgs))
+	for i, jr := range jrs {
+		if jr.Err != "" {
+			panic(jr.Err)
+		}
+		results[i] = jr.Result
+	}
 	return results
 }
 
 // patternFor builds the per-topology traffic pattern for a Figure 6
-// subfigure.
+// subfigure; the construction rules live in the sweep engine now.
 func (p *perfNetworks) patternFor(name string, tp topo.Topology, tb *route.Tables, seed uint64) traffic.Pattern {
-	n := tp.Endpoints()
-	switch name {
-	case "uniform":
-		return traffic.Uniform{N: n}
-	case "bitrev":
-		return traffic.BitReversal(n)
-	case "shuffle":
-		return traffic.Shuffle(n)
-	case "bitcomp":
-		return traffic.BitComplement(n)
-	case "shift":
-		return traffic.Shift{N: n}
-	case "worstcase":
-		switch t := tp.(type) {
-		case *slimfly.SlimFly:
-			return traffic.WorstCaseSF(t, tb, seed)
-		case *fattree.FatTree:
-			return traffic.WorstCaseFT(t.Arity, t)
-		default:
-			if df, ok := tp.(interface{ Group(int) int }); ok {
-				groups := tp.Routers() / groupSize(tp)
-				return traffic.WorstCaseDF(df.Group, tp, groups)
-			}
-			return traffic.Uniform{N: n}
-		}
-	default:
-		return traffic.Uniform{N: n}
+	pat, err := sweep.BuildPattern(name, tp, tb, seed)
+	if err != nil {
+		return traffic.Uniform{N: tp.Endpoints()}
 	}
-}
-
-func groupSize(tp topo.Topology) int {
-	type hasA interface{ Group(int) int }
-	a, _ := tp.(hasA)
-	if a == nil {
-		return 1
-	}
-	// Routers per group = index where group changes.
-	for r := 1; r < tp.Routers(); r++ {
-		if a.Group(r) != 0 {
-			return r
-		}
-	}
-	return tp.Routers()
+	return pat
 }
 
 // Fig6 reproduces one subfigure of Figure 6 (a: uniform, b: bitrev,
@@ -175,16 +156,31 @@ func Fig6(pattern string, sc PerfScale, seed uint64) *Table {
 			pattern, nets.sf.Endpoints(), nets.df.Endpoints(), nets.ft.Endpoints()),
 		Columns: []string{"protocol", "load", "avg_latency", "accepted", "avg_hops", "saturated"},
 	}
+	// One network bundle per kind; patterns are read-only during
+	// simulation and the adversarial ones are expensive to derive, so
+	// each is built once and shared across protocols and loads. The
+	// protocol curves themselves come from fig6Protocols -- the same
+	// definition Fig6Specs expresses declaratively.
+	type netBundle struct {
+		tp  topo.Topology
+		tb  *route.Tables
+		pat traffic.Pattern
+	}
+	byKind := map[string]netBundle{
+		"SF":   {nets.sf, nets.sfTb, nets.patternFor(pattern, nets.sf, nets.sfTb, seed)},
+		"DF":   {nets.df, nets.dfTb, nets.patternFor(pattern, nets.df, nets.dfTb, seed)},
+		"FT-3": {nets.ft, nets.ftTb, nets.patternFor(pattern, nets.ft, nets.ftTb, seed)},
+	}
 	var specs []runSpec
 	for _, load := range sc.Loads {
-		specs = append(specs,
-			runSpec{"SF-MIN", nets.sf, nets.sfTb, sim.MIN{}, nets.patternFor(pattern, nets.sf, nets.sfTb, seed), load},
-			runSpec{"SF-VAL", nets.sf, nets.sfTb, sim.VAL{}, nets.patternFor(pattern, nets.sf, nets.sfTb, seed), load},
-			runSpec{"SF-UGAL-L", nets.sf, nets.sfTb, sim.UGALL{}, nets.patternFor(pattern, nets.sf, nets.sfTb, seed), load},
-			runSpec{"SF-UGAL-G", nets.sf, nets.sfTb, sim.UGALG{}, nets.patternFor(pattern, nets.sf, nets.sfTb, seed), load},
-			runSpec{"DF-UGAL-L", nets.df, nets.dfTb, sim.UGALL{}, nets.patternFor(pattern, nets.df, nets.dfTb, seed), load},
-			runSpec{"FT-ANCA", nets.ft, nets.ftTb, sim.FTANCA{FT: nets.ft}, nets.patternFor(pattern, nets.ft, nets.ftTb, seed), load},
-		)
+		for _, pr := range fig6Protocols {
+			nb := byKind[pr.Kind]
+			algo, err := sweep.BuildAlgo(pr.Algo, nb.tp)
+			if err != nil {
+				panic(err)
+			}
+			specs = append(specs, runSpec{pr.Label, nb.tp, nb.tb, algo, nb.pat, load})
+		}
 	}
 	results := runAll(specs, sc, seed)
 	for i, r := range results {
@@ -203,19 +199,24 @@ func Fig8a(sc PerfScale, seed uint64) *Table {
 		Title:   fmt.Sprintf("Figure 8a: buffer-size study (worst-case traffic, SF N=%d, UGAL-L)", sf.Endpoints()),
 		Columns: []string{"buffer_flits", "load", "avg_latency", "accepted"},
 	}
-	for _, buf := range []int{9, 18, 33, 63, 129, 255} { // ~8..256, multiples of 3 VCs
-		for _, load := range []float64{0.25, 0.3, 0.35, 0.4, 0.45, 0.5} {
-			s, err := sim.New(sim.Config{
+	type point struct {
+		buf  int
+		load float64
+	}
+	var pts []point
+	var cfgs []sim.Config
+	for _, buf := range fig8aBuffers {
+		for _, load := range fig8aLoads {
+			pts = append(pts, point{buf, load})
+			cfgs = append(cfgs, sim.Config{
 				Topo: sf, Tables: tb, Algo: sim.UGALL{}, Pattern: wc, Load: load,
 				BufPerPort: buf, Warmup: sc.Warmup, Measure: sc.Measure, Drain: sc.Drain,
 				Seed: seed,
 			})
-			if err != nil {
-				panic(err)
-			}
-			r := s.Run()
-			t.Add(buf, load, r.AvgLatency, r.Accepted)
 		}
+	}
+	for i, r := range runConfigs(cfgs) {
+		t.Add(pts[i].buf, pts[i].load, r.AvgLatency, r.Accepted)
 	}
 	return t
 }
@@ -235,6 +236,14 @@ func Fig8be(sc PerfScale, seed uint64) *Table {
 	// the over-subscription proportionally for other q.
 	overs := []int{balanced + 1, balanced + 3}
 	algos := []sim.Algo{sim.MIN{}, sim.VAL{}, sim.UGALL{}, sim.UGALG{}}
+	type point struct {
+		p    int
+		pat  string
+		algo string
+		load float64
+	}
+	var pts []point
+	var cfgs []sim.Config
 	for _, p := range overs {
 		sf, err := slimfly.NewWithConcentration(q, p)
 		if err != nil {
@@ -250,18 +259,17 @@ func Fig8be(sc PerfScale, seed uint64) *Table {
 			}
 			for _, a := range algos {
 				for _, load := range loads {
-					s, err := sim.New(sim.Config{
+					pts = append(pts, point{p, pat, a.Name(), load})
+					cfgs = append(cfgs, sim.Config{
 						Topo: sf, Tables: tb, Algo: a, Pattern: pattern, Load: load,
 						Warmup: sc.Warmup, Measure: sc.Measure, Drain: sc.Drain, Seed: seed,
 					})
-					if err != nil {
-						panic(err)
-					}
-					r := s.Run()
-					t.Add(p, pat, a.Name(), load, r.AvgLatency, r.Accepted)
 				}
 			}
 		}
+	}
+	for i, r := range runConfigs(cfgs) {
+		t.Add(pts[i].p, pts[i].pat, pts[i].algo, pts[i].load, r.AvgLatency, r.Accepted)
 	}
 	return t
 }

@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"fmt"
+
+	"slimfly/internal/sweep"
+)
+
+// This file expresses the simulator-backed experiments of Section V as
+// declarative sweep specs: the same grids Fig6/Fig8a run imperatively,
+// but runnable (and cacheable, and resumable) through cmd/sfsweep. The
+// grid definitions below are the single source of truth for the axes,
+// consumed by both forms. The seeding differs by design, so per-point
+// numbers are statistically equivalent but not bit-identical between
+// forms: the imperative runners stride the RNG seed per point
+// (seed + i*7919), while declarative jobs are seeded from the spec's
+// seed list only -- a job's cache key must depend on its own content,
+// never on its position in the grid, or editing one axis would
+// invalidate every sibling point. Each topology is paired with its own
+// protocol set, so Figure 6 is a spec group rather than one cross
+// product.
+
+// fig6Protocols lists the six compared curves of Figure 6 in
+// presentation order: display label, network kind and routing algorithm.
+var fig6Protocols = []struct {
+	Label, Kind, Algo string
+}{
+	{"SF-MIN", "SF", "min"},
+	{"SF-VAL", "SF", "val"},
+	{"SF-UGAL-L", "SF", "ugal-l"},
+	{"SF-UGAL-G", "SF", "ugal-g"},
+	{"DF-UGAL-L", "DF", "ugal-l"},
+	{"FT-ANCA", "FT-3", "anca"},
+}
+
+// Figure 8a sweeps per-port buffering (~8..256 flits, multiples of 3 VCs)
+// over moderate worst-case loads.
+var (
+	fig8aBuffers = []int{9, 18, 33, 63, 129, 255}
+	fig8aLoads   = []float64{0.25, 0.3, 0.35, 0.4, 0.45, 0.5}
+)
+
+// Fig6Specs returns the Figure 6 load-latency sweep for one traffic
+// pattern: SF under MIN/VAL/UGAL-L/UGAL-G, DF under UGAL-L and FT-3 under
+// ANCA, across the scale's load grid. One spec per network kind, algos in
+// fig6Protocols order.
+func Fig6Specs(pattern string, sc PerfScale, seed uint64) []*sweep.Spec {
+	sim := sweep.SimParams{Warmup: sc.Warmup, Measure: sc.Measure, Drain: sc.Drain}
+	var kinds []string
+	algosByKind := map[string][]string{}
+	for _, p := range fig6Protocols {
+		if _, seen := algosByKind[p.Kind]; !seen {
+			kinds = append(kinds, p.Kind)
+		}
+		algosByKind[p.Kind] = append(algosByKind[p.Kind], p.Algo)
+	}
+	var specs []*sweep.Spec
+	for _, kind := range kinds {
+		specs = append(specs, &sweep.Spec{
+			Name:     fmt.Sprintf("fig6-%s-%s", pattern, kind),
+			Topos:    []sweep.TopoSpec{{Kind: kind, N: sc.TargetN}},
+			Algos:    algosByKind[kind],
+			Patterns: []string{pattern},
+			Loads:    sc.Loads,
+			Seeds:    []uint64{seed},
+			Sim:      sim,
+		})
+	}
+	return specs
+}
+
+// Fig8aSpecs returns the Figure 8a buffer-size study as sweep specs: one
+// spec per buffer depth (the buffer size lives in SimParams, which is a
+// per-spec constant), SF under UGAL-L on worst-case traffic.
+func Fig8aSpecs(sc PerfScale, seed uint64) []*sweep.Spec {
+	var specs []*sweep.Spec
+	for _, buf := range fig8aBuffers {
+		specs = append(specs, &sweep.Spec{
+			Name:     fmt.Sprintf("fig8a-buf%d", buf),
+			Topos:    []sweep.TopoSpec{{Kind: "SF", N: sc.TargetN}},
+			Algos:    []string{"ugal-l"},
+			Patterns: []string{"worstcase"},
+			Loads:    fig8aLoads,
+			Seeds:    []uint64{seed},
+			Sim: sweep.SimParams{
+				Warmup: sc.Warmup, Measure: sc.Measure, Drain: sc.Drain,
+				BufPerPort: buf,
+			},
+		})
+	}
+	return specs
+}

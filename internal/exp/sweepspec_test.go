@@ -1,0 +1,54 @@
+package exp
+
+import (
+	"testing"
+
+	"slimfly/internal/sweep"
+)
+
+func TestFig6SpecsExpand(t *testing.T) {
+	sc := SmallScale()
+	specs := Fig6Specs("uniform", sc, 1)
+	jobs, err := sweep.ExpandAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 protocol curves (SF x 4, DF x UGAL-L, FT-3 x ANCA) x load grid.
+	want := 6 * len(sc.Loads)
+	if len(jobs) != want {
+		t.Fatalf("jobs = %d, want %d", len(jobs), want)
+	}
+	byTopo := map[string]int{}
+	for _, j := range jobs {
+		byTopo[j.Topo.Kind]++
+		if j.Topo.Kind == "FT-3" && j.Algo != "anca" {
+			t.Errorf("FT-3 paired with %s", j.Algo)
+		}
+		if j.Topo.Kind != "FT-3" && j.Algo == "anca" {
+			t.Errorf("anca paired with %s", j.Topo.Kind)
+		}
+	}
+	if byTopo["SF"] != 4*len(sc.Loads) || byTopo["DF"] != len(sc.Loads) || byTopo["FT-3"] != len(sc.Loads) {
+		t.Errorf("per-topology job counts: %v", byTopo)
+	}
+}
+
+func TestFig8aSpecsExpand(t *testing.T) {
+	specs := Fig8aSpecs(SmallScale(), 1)
+	jobs, err := sweep.ExpandAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 6*6 { // 6 buffer depths x 6 loads
+		t.Fatalf("jobs = %d, want 36", len(jobs))
+	}
+	// Buffer depth is the distinguishing axis; every job must hash
+	// uniquely even though topology/algo/pattern/load repeat.
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if seen[j.Key()] {
+			t.Fatalf("duplicate key across buffer depths: %s", j.Label())
+		}
+		seen[j.Key()] = true
+	}
+}

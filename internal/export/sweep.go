@@ -1,0 +1,78 @@
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"slimfly/internal/sweep"
+)
+
+// sweepHeader is the column set of WriteSweepCSV, one row per sweep point.
+var sweepHeader = []string{
+	"topo", "algo", "pattern", "load", "seed",
+	"avg_latency", "max_latency", "avg_hops", "accepted",
+	"injected", "delivered", "saturated", "cached", "error", "key",
+}
+
+// WriteSweepCSV emits one CSV row per sweep job result, in job order.
+// Failed jobs keep their identifying columns and carry the error text, so
+// a partially failed sweep still round-trips through spreadsheet tooling.
+func WriteSweepCSV(w io.Writer, results []sweep.JobResult) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(sweepHeader); err != nil {
+		return fmt.Errorf("export: sweep csv header: %w", err)
+	}
+	for _, r := range results {
+		row := []string{
+			r.Job.Topo.String(), r.Job.Algo, r.Job.Pattern,
+			strconv.FormatFloat(r.Job.Load, 'g', -1, 64),
+			strconv.FormatUint(r.Job.Seed, 10),
+			strconv.FormatFloat(r.Result.AvgLatency, 'f', 3, 64),
+			strconv.FormatInt(r.Result.MaxLatency, 10),
+			strconv.FormatFloat(r.Result.AvgHops, 'f', 3, 64),
+			strconv.FormatFloat(r.Result.Accepted, 'f', 4, 64),
+			strconv.FormatInt(r.Result.Injected, 10),
+			strconv.FormatInt(r.Result.Delivered, 10),
+			strconv.FormatBool(r.Result.Saturated),
+			strconv.FormatBool(r.Cached),
+			r.Err,
+			r.Key,
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("export: sweep csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SweepArtifact is the JSON form of a completed (or interrupted) sweep:
+// the spec that produced it, the aggregate counters and every per-job
+// result.
+type SweepArtifact struct {
+	Spec    *sweep.Spec       `json:"spec,omitempty"`
+	Stats   sweep.Stats       `json:"stats"`
+	Results []sweep.JobResult `json:"results"`
+}
+
+// WriteSweepJSON emits the sweep artifact as indented JSON.
+func WriteSweepJSON(w io.Writer, a SweepArtifact) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(a); err != nil {
+		return fmt.Errorf("export: sweep json: %w", err)
+	}
+	return nil
+}
+
+// ReadSweepJSON parses a sweep artifact back, for post-processing tools.
+func ReadSweepJSON(r io.Reader) (SweepArtifact, error) {
+	var a SweepArtifact
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return SweepArtifact{}, fmt.Errorf("export: decoding sweep artifact: %w", err)
+	}
+	return a, nil
+}

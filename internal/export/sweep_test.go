@@ -1,0 +1,91 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"slimfly/internal/sim"
+	"slimfly/internal/sweep"
+)
+
+func sampleResults() []sweep.JobResult {
+	j := sweep.Job{
+		Topo: sweep.TopoSpec{Kind: "SF", Q: 5}, Algo: "min", Pattern: "uniform",
+		Load: 0.3, Seed: 7,
+	}
+	return []sweep.JobResult{
+		{
+			Job: j, Key: j.Key(),
+			Result: sim.Result{
+				AvgLatency: 21.5, MaxLatency: 90, AvgHops: 2.1,
+				Accepted: 0.299, Injected: 1000, Delivered: 998,
+			},
+			Elapsed: 0.5,
+		},
+		{Job: j, Key: j.Key(), Cached: true, Result: sim.Result{AvgLatency: 21.5}},
+		{Job: j, Err: "sim: load 2 out of [0,1]"},
+	}
+}
+
+func TestWriteSweepCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, sampleResults()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 { // header + 3 results
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	if rows[0][0] != "topo" || rows[0][5] != "avg_latency" {
+		t.Errorf("unexpected header %v", rows[0])
+	}
+	if rows[1][0] != "SF/q5" || rows[1][3] != "0.3" || rows[1][5] != "21.500" {
+		t.Errorf("unexpected data row %v", rows[1])
+	}
+	if rows[2][12] != "true" {
+		t.Errorf("cached flag not emitted: %v", rows[2])
+	}
+	if !strings.Contains(rows[3][13], "out of [0,1]") {
+		t.Errorf("error column missing: %v", rows[3])
+	}
+}
+
+func TestSweepJSONRoundTrip(t *testing.T) {
+	art := SweepArtifact{
+		Spec: &sweep.Spec{
+			Name:  "rt",
+			Topos: []sweep.TopoSpec{{Kind: "SF", Q: 5}},
+			Algos: []string{"min"},
+			Loads: []float64{0.3},
+		},
+		Stats:   sweep.Stats{Total: 3, Executed: 1, Cached: 1, Failed: 1},
+		Results: sampleResults(),
+	}
+	var buf bytes.Buffer
+	if err := WriteSweepJSON(&buf, art); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSweepJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats != art.Stats {
+		t.Errorf("stats round-trip: %+v != %+v", got.Stats, art.Stats)
+	}
+	if len(got.Results) != len(art.Results) {
+		t.Fatalf("results = %d, want %d", len(got.Results), len(art.Results))
+	}
+	for i := range got.Results {
+		if got.Results[i].Result != art.Results[i].Result || got.Results[i].Job != art.Results[i].Job {
+			t.Errorf("result %d round-trip mismatch", i)
+		}
+	}
+	if got.Spec == nil || got.Spec.Name != "rt" {
+		t.Errorf("spec round-trip: %+v", got.Spec)
+	}
+}

@@ -1,0 +1,16 @@
+package sim
+
+// Run constructs a fresh simulator for cfg, executes it and returns the
+// measurements. It is a pure entry point: every call builds its own
+// simulator state (queues, wheels, RNG), and the shared inputs it reads --
+// topology, routing tables, traffic patterns -- are immutable after
+// construction, so any number of Runs over the same inputs may proceed
+// concurrently. The sweep engine (internal/sweep) relies on this to fan
+// simulations out across cores.
+func Run(cfg Config) (Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(), nil
+}

@@ -1,0 +1,122 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"slimfly/internal/sim"
+)
+
+// Entry is one cached simulation result, stored as indented JSON at
+// <dir>/<key[:2]>/<key>.json. The job is stored alongside the result so a
+// cache directory is self-describing (inspectable and re-exportable
+// without the original spec).
+type Entry struct {
+	Format  string     `json:"format"` // cacheFormat at write time
+	Job     Job        `json:"job"`
+	Result  sim.Result `json:"result"`
+	Elapsed float64    `json:"elapsed_seconds"` // execution wall time (not cached reads)
+	Created time.Time  `json:"created"`
+}
+
+// Cache is a content-addressed result store. Writes are atomic (unique
+// temp file + rename), so concurrent writers -- even across processes --
+// can race on the same key and the survivor is always a complete entry.
+// Unreadable or corrupt entries are deleted on read and reported as
+// misses, so a torn write from a killed sweep costs one recomputation, not
+// a crash.
+type Cache struct {
+	dir string
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir. Orphaned
+// temp files from writers killed mid-Put are swept on open, so repeated
+// interrupt/resume cycles cannot accumulate garbage.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: opening cache: %w", err)
+	}
+	if orphans, err := filepath.Glob(filepath.Join(dir, "put-*.tmp")); err == nil {
+		for _, o := range orphans {
+			// Age-gate the sweep so a concurrent process mid-Put (its
+			// temp file is seconds old) is left alone.
+			if info, err := os.Stat(o); err == nil && time.Since(info.ModTime()) > time.Hour {
+				os.Remove(o)
+			}
+		}
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// path fans entries out over 256 subdirectories keyed by the first hash
+// byte, keeping directory listings fast for large sweeps.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get looks up key. It returns (entry, true) on a hit and (zero, false) on
+// a miss. A present-but-corrupt entry (torn write, truncation, format
+// drift) is removed and reported as a miss.
+func (c *Cache) Get(key string) (Entry, bool) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return Entry{}, false
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil || e.Format != cacheFormat {
+		os.Remove(c.path(key))
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// Put stores entry under key atomically. The temp file lives in the cache
+// root (same filesystem as the final path) so the rename is atomic.
+func (c *Cache) Put(key string, e Entry) error {
+	e.Format = cacheFormat
+	data, err := json.MarshalIndent(e, "", " ")
+	if err != nil {
+		return fmt.Errorf("sweep: encoding cache entry: %w", err)
+	}
+	final := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(final), 0o755); err != nil {
+		return fmt.Errorf("sweep: cache subdir: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("sweep: cache temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: writing cache entry: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: closing cache entry: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("sweep: committing cache entry: %w", err)
+	}
+	return nil
+}
+
+// Len walks the cache and counts valid-looking entries (by extension; it
+// does not decode them). Intended for tooling and tests.
+func (c *Cache) Len() int {
+	n := 0
+	filepath.Walk(c.dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}

@@ -1,0 +1,261 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"slimfly/internal/sim"
+)
+
+func testJob() Job {
+	return Job{
+		Topo: TopoSpec{Kind: "SF", Q: 5}, Algo: "min", Pattern: "uniform",
+		Load: 0.3, Seed: 7,
+		Sim: SimParams{Warmup: 50, Measure: 100, Drain: 500},
+	}
+}
+
+// TestKeyStability pins the content address of a fixed job. If this test
+// fails, the job encoding (or the cache format version) changed and every
+// existing cache entry is invalidated -- which must be a deliberate,
+// version-bumped decision, not an accident.
+func TestKeyStability(t *testing.T) {
+	const want = "5012b7948d7def9ec2b2723bb95d035c59a09244cf46de1b82fe20080ce57ee4"
+	if got := testJob().Key(); got != want {
+		t.Errorf("Key() = %s, want %s (job encoding changed: bump cacheFormat)", got, want)
+	}
+}
+
+// TestKeyEquivalence: independently constructed jobs with equal fields
+// share a key; any differing axis value changes it.
+func TestKeyEquivalence(t *testing.T) {
+	a, b := testJob(), testJob()
+	if a.Key() != b.Key() {
+		t.Fatal("equal jobs produced different keys")
+	}
+	seen := map[string]string{a.Key(): "base"}
+	variants := map[string]Job{}
+	v := testJob()
+	v.Load = 0.4
+	variants["load"] = v
+	v = testJob()
+	v.Seed = 8
+	variants["seed"] = v
+	v = testJob()
+	v.Algo = "val"
+	variants["algo"] = v
+	v = testJob()
+	v.Pattern = "shift"
+	variants["pattern"] = v
+	v = testJob()
+	v.Topo.Q = 7
+	variants["topo"] = v
+	v = testJob()
+	v.Sim.BufPerPort = 32
+	variants["sim-params"] = v
+	for name, j := range variants {
+		k := j.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %q collides with %q", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := testJob()
+	key := j.Key()
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	want := Entry{Job: j, Result: sim.Result{AvgLatency: 12.5, Delivered: 99}, Elapsed: 0.25}
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got.Result != want.Result || got.Job != want.Job {
+		t.Errorf("Get = %+v, want %+v", got, want)
+	}
+	if got.Format != cacheFormat {
+		t.Errorf("stored format %q, want %q", got.Format, cacheFormat)
+	}
+	if _, ok := c.Get(testJobWithLoad(0.9).Key()); ok {
+		t.Error("hit for a job never stored")
+	}
+}
+
+func testJobWithLoad(l float64) Job {
+	j := testJob()
+	j.Load = l
+	return j
+}
+
+// TestCacheConcurrentWriters hammers one cache with racing writers on both
+// shared and distinct keys, then verifies every key reads back complete.
+func TestCacheConcurrentWriters(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	const keys = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keys; i++ {
+				j := testJobWithLoad(float64(i+1) / 10)
+				e := Entry{Job: j, Result: sim.Result{Delivered: int64(i)}}
+				if err := c.Put(j.Key(), e); err != nil {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				if got, ok := c.Get(j.Key()); ok && got.Result.Delivered != int64(i) {
+					t.Errorf("worker %d: torn read: %+v", w, got)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < keys; i++ {
+		j := testJobWithLoad(float64(i+1) / 10)
+		got, ok := c.Get(j.Key())
+		if !ok {
+			t.Fatalf("key %d missing after concurrent writes", i)
+		}
+		if got.Result.Delivered != int64(i) {
+			t.Errorf("key %d: Delivered = %d, want %d", i, got.Result.Delivered, i)
+		}
+	}
+	// No stray temp files left behind.
+	matches, _ := filepath.Glob(filepath.Join(c.Dir(), "put-*.tmp"))
+	if len(matches) != 0 {
+		t.Errorf("leftover temp files: %v", matches)
+	}
+}
+
+// TestCacheCorruptEntry: a torn or garbage entry is treated as a miss,
+// removed, and cleanly replaceable.
+func TestCacheCorruptEntry(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := testJob()
+	key := j.Key()
+	if err := c.Put(key, Entry{Job: j, Result: sim.Result{Delivered: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	path := c.path(key)
+	for _, corrupt := range [][]byte{
+		[]byte("{truncated"),
+		[]byte("not json at all"),
+		[]byte(`{"format":"some-other-format","job":{},"result":{}}`),
+	} {
+		if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := c.Get(key); ok {
+			t.Fatalf("hit on corrupt entry %q", corrupt)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Errorf("corrupt entry %q not removed", corrupt)
+		}
+		// The slot is reusable after recovery.
+		if err := c.Put(key, Entry{Job: j, Result: sim.Result{Delivered: 2}}); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := c.Get(key)
+		if !ok || got.Result.Delivered != 2 {
+			t.Fatalf("cache unusable after corrupt-entry recovery: %+v ok=%v", got, ok)
+		}
+	}
+}
+
+func TestCacheLen(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Len(); n != 0 {
+		t.Fatalf("empty cache Len = %d", n)
+	}
+	for i := 0; i < 5; i++ {
+		j := testJobWithLoad(float64(i+1) / 10)
+		if err := c.Put(j.Key(), Entry{Job: j}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Len(); n != 5 {
+		t.Errorf("Len = %d, want 5", n)
+	}
+}
+
+// TestCacheReopen: a second Cache over the same directory (a later
+// process) sees earlier entries -- the property resume is built on.
+func TestCacheReopen(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := testJob()
+	if err := c1.Put(j.Key(), Entry{Job: j, Result: sim.Result{Delivered: 42}}); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c2.Get(j.Key())
+	if !ok || got.Result.Delivered != 42 {
+		t.Fatalf("reopened cache: %+v ok=%v", got, ok)
+	}
+}
+
+// TestCacheFanout: entries spread across the two-hex-digit subdirectories.
+func TestCacheFanout(t *testing.T) {
+	c, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := map[string]bool{}
+	for i := 0; i < 32; i++ {
+		j := testJobWithLoad(float64(i) / 100)
+		if err := c.Put(j.Key(), Entry{Job: j}); err != nil {
+			t.Fatal(err)
+		}
+		dirs[j.Key()[:2]] = true
+	}
+	if len(dirs) < 2 {
+		t.Skip("improbable: all 32 hashes share a prefix")
+	}
+	for d := range dirs {
+		if _, err := os.Stat(filepath.Join(c.Dir(), d)); err != nil {
+			t.Errorf("fanout dir %s: %v", d, err)
+		}
+	}
+}
+
+// TestKeyRepeatable guards against key dependence on map iteration or
+// other in-process nondeterminism.
+func TestKeyRepeatable(t *testing.T) {
+	j := testJob()
+	k := j.Key()
+	for i := 0; i < 100; i++ {
+		if got := j.Key(); got != k {
+			t.Fatalf("Key unstable: %s then %s", k, got)
+		}
+	}
+}

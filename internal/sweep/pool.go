@@ -1,0 +1,203 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"slimfly/internal/sim"
+)
+
+// JobResult is the outcome of one sweep point.
+type JobResult struct {
+	Job     Job        `json:"job"`
+	Key     string     `json:"key,omitempty"`
+	Result  sim.Result `json:"result"`
+	Cached  bool       `json:"cached"`          // served from the result cache
+	Err     string     `json:"error,omitempty"` // non-empty: job failed
+	Elapsed float64    `json:"elapsed_seconds"` // execution time; 0 for cache hits
+}
+
+// Stats summarises a pool run.
+type Stats struct {
+	Total    int // jobs in the sweep
+	Executed int // simulated this run (cache misses)
+	Cached   int // served from the cache
+	Failed   int // build or configuration errors
+	Skipped  int // not reached before cancellation
+}
+
+// Options configures a pool run.
+type Options struct {
+	// Workers is the pool width; 0 means one per available core.
+	Workers int
+	// Cache, when non-nil, short-circuits jobs whose key is already
+	// stored and records fresh results for future runs.
+	Cache *Cache
+	// OnDone, when non-nil, is called once per finished job, from worker
+	// goroutines (it must be safe for concurrent use).
+	OnDone func(index int, r JobResult)
+}
+
+// Task is one executable unit for the low-level pool API: a descriptive
+// job, an optional cache key (empty disables caching for this task) and a
+// lazy config builder invoked only on cache misses.
+type Task struct {
+	Job   Job
+	Key   string
+	Build func() (sim.Config, error)
+}
+
+// shard is one worker's home run of task indices with a claim cursor.
+// Claiming is an atomic increment, so idle workers steal from any shard
+// without locks.
+type shard struct {
+	tasks []int
+	next  atomic.Int64
+}
+
+func (s *shard) claim() (int, bool) {
+	pos := s.next.Add(1) - 1
+	if int(pos) >= len(s.tasks) {
+		return 0, false
+	}
+	return s.tasks[pos], true
+}
+
+// Run expands the spec and executes it: the one-call API used by
+// cmd/sfsweep. Jobs are resolved lazily through a fresh Env, so a fully
+// cached sweep builds no topologies and executes no simulator cycles.
+func Run(ctx context.Context, spec *Spec, opts Options) ([]JobResult, Stats, error) {
+	jobs, err := spec.Expand()
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return RunJobs(ctx, jobs, NewEnv(), opts)
+}
+
+// RunJobs executes an already expanded job list against env.
+func RunJobs(ctx context.Context, jobs []Job, env *Env, opts Options) ([]JobResult, Stats, error) {
+	tasks := make([]Task, len(jobs))
+	for i, j := range jobs {
+		j := j
+		tasks[i] = Task{Job: j, Key: j.Key(), Build: func() (sim.Config, error) { return env.Config(j) }}
+	}
+	return RunTasks(ctx, tasks, opts)
+}
+
+// RunTasks executes tasks on a sharded work-stealing pool: task indices
+// are dealt round-robin into one shard per worker (adjacent sweep points
+// have similar cost, so striping balances the initial deal), each worker
+// drains its own shard first and then steals claims from the others.
+// Results are positional: results[i] corresponds to tasks[i]. On
+// cancellation the slice holds every job finished so far, unreached jobs
+// are counted in Stats.Skipped, and the context error is returned.
+func RunTasks(ctx context.Context, tasks []Task, opts Options) ([]JobResult, Stats, error) {
+	nw := opts.Workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	if nw > len(tasks) {
+		nw = len(tasks)
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	shards := make([]*shard, nw)
+	for w := 0; w < nw; w++ {
+		shards[w] = &shard{}
+	}
+	for i := range tasks {
+		s := shards[i%nw]
+		s.tasks = append(s.tasks, i)
+	}
+
+	results := make([]JobResult, len(tasks))
+	reached := make([]bool, len(tasks)) // each index claimed exactly once
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Home shard first, then steal sweeps over the others.
+			for s := 0; s < nw; s++ {
+				sh := shards[(w+s)%nw]
+				for {
+					if ctx.Err() != nil {
+						return
+					}
+					idx, ok := sh.claim()
+					if !ok {
+						break
+					}
+					results[idx] = runOne(tasks[idx], opts.Cache)
+					reached[idx] = true
+					if opts.OnDone != nil {
+						opts.OnDone(idx, results[idx])
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := Stats{Total: len(tasks)}
+	for i := range results {
+		if !reached[i] {
+			st.Skipped++
+			continue
+		}
+		switch {
+		case results[i].Err != "":
+			st.Failed++
+		case results[i].Cached:
+			st.Cached++
+		default:
+			st.Executed++
+		}
+	}
+	return results, st, ctx.Err()
+}
+
+// runOne executes a single task: cache lookup, lazy build, simulate,
+// cache store. Panics from construction or simulation are converted into
+// failed results so one bad point cannot take down a long sweep.
+func runOne(t Task, cache *Cache) (jr JobResult) {
+	jr = JobResult{Job: t.Job, Key: t.Key}
+	defer func() {
+		if p := recover(); p != nil {
+			jr.Err = fmt.Sprintf("panic: %v", p)
+		}
+	}()
+	if cache != nil && t.Key != "" {
+		if e, ok := cache.Get(t.Key); ok {
+			jr.Result = e.Result
+			jr.Cached = true
+			return jr
+		}
+	}
+	cfg, err := t.Build()
+	if err != nil {
+		jr.Err = err.Error()
+		return jr
+	}
+	start := time.Now()
+	res, err := sim.Run(cfg)
+	if err != nil {
+		jr.Err = err.Error()
+		return jr
+	}
+	jr.Result = res
+	jr.Elapsed = time.Since(start).Seconds()
+	if cache != nil && t.Key != "" {
+		// A failed store only degrades future runs to recomputation; the
+		// result itself is still good, so the error is dropped.
+		_ = cache.Put(t.Key, Entry{
+			Job: t.Job, Result: res, Elapsed: jr.Elapsed, Created: time.Now().UTC(),
+		})
+	}
+	return jr
+}

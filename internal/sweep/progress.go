@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Progress is a thread-safe counter set for a running sweep, suitable as
+// an Options.OnDone sink. It estimates the remaining wall time from the
+// average execution time of the jobs simulated so far, divided across the
+// pool width (cache hits are treated as free).
+type Progress struct {
+	mu       sync.Mutex
+	total    int
+	workers  int
+	done     int
+	cached   int
+	failed   int
+	executed int
+	execSecs float64
+	start    time.Time
+}
+
+// NewProgress returns a tracker for a sweep of total jobs on workers
+// workers.
+func NewProgress(total, workers int) *Progress {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Progress{total: total, workers: workers, start: time.Now()}
+}
+
+// Observe records one finished job. Safe for concurrent use.
+func (p *Progress) Observe(r JobResult) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	switch {
+	case r.Err != "":
+		p.failed++
+	case r.Cached:
+		p.cached++
+	default:
+		p.executed++
+		p.execSecs += r.Elapsed
+	}
+}
+
+// Snapshot is a point-in-time view of a sweep's progress.
+type Snapshot struct {
+	Total, Done, Cached, Failed, Executed int
+	Elapsed                               time.Duration
+	ETA                                   time.Duration // 0 when unknown or finished
+}
+
+// Snapshot returns the current counters and ETA.
+func (p *Progress) Snapshot() Snapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := Snapshot{
+		Total: p.total, Done: p.done, Cached: p.cached,
+		Failed: p.failed, Executed: p.executed,
+		Elapsed: time.Since(p.start),
+	}
+	remaining := p.total - p.done
+	if remaining > 0 && p.executed > 0 {
+		perJob := p.execSecs / float64(p.executed)
+		// Cache hits are near-free, so scale the remaining count by the
+		// observed execution ratio: resuming a mostly cached sweep should
+		// not forecast full-cost work for points that will be served from
+		// disk.
+		execRatio := float64(p.executed) / float64(p.done)
+		s.ETA = time.Duration(perJob * float64(remaining) * execRatio / float64(p.workers) * float64(time.Second))
+	}
+	return s
+}
+
+// String renders the snapshot as a single progress line.
+func (s Snapshot) String() string {
+	line := fmt.Sprintf("%d/%d done (%d run, %d cached, %d failed)",
+		s.Done, s.Total, s.Executed, s.Cached, s.Failed)
+	if s.ETA > 0 {
+		line += fmt.Sprintf(", eta %s", s.ETA.Round(time.Second))
+	}
+	return line
+}

@@ -1,0 +1,294 @@
+// Package sweep is the experiment-orchestration subsystem: a declarative
+// sweep specification (topology family x size x routing algorithm x traffic
+// pattern x load grid x seeds) is expanded into a deterministic job list and
+// executed by a sharded, work-stealing worker pool backed by a
+// content-addressed on-disk result cache. Re-running a sweep only executes
+// new or changed points, so an interrupted sweep resumes where it left off.
+package sweep
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// cacheFormat versions the job hash: bump it whenever the simulator or the
+// job encoding changes in a result-affecting way, so stale cache entries
+// become unreachable instead of silently wrong.
+const cacheFormat = "slimfly-sweep-v1"
+
+// TopoSpec names one network to sweep over. Either Kind+N (a roster
+// topology built near N endpoints) or Kind "SF" with an explicit Q (and
+// optionally an oversubscribed concentration P).
+type TopoSpec struct {
+	Kind string `json:"kind"`           // roster kind: SF, DF, FT-3, ...
+	N    int    `json:"n,omitempty"`    // target endpoint count (roster sizing)
+	Q    int    `json:"q,omitempty"`    // exact Slim Fly order (overrides N)
+	P    int    `json:"p,omitempty"`    // SF concentration override (needs Q)
+	Seed uint64 `json:"seed,omitempty"` // construction seed (random topologies)
+}
+
+// String returns a short human-readable label, e.g. "SF/n1000" or "SF/q19p18".
+func (t TopoSpec) String() string {
+	if t.Q > 0 {
+		if t.P > 0 {
+			return fmt.Sprintf("%s/q%dp%d", t.Kind, t.Q, t.P)
+		}
+		return fmt.Sprintf("%s/q%d", t.Kind, t.Q)
+	}
+	return fmt.Sprintf("%s/n%d", t.Kind, t.N)
+}
+
+// SimParams are the simulator knobs shared by every job of a sweep. Zero
+// values mean "simulator default" (see sim.Config.withDefaults); they are
+// hashed as written, so an explicit default and an omitted field produce
+// different keys.
+type SimParams struct {
+	Warmup       int `json:"warmup,omitempty"`
+	Measure      int `json:"measure,omitempty"`
+	Drain        int `json:"drain,omitempty"`
+	NumVCs       int `json:"num_vcs,omitempty"`
+	BufPerPort   int `json:"buf_per_port,omitempty"`
+	RouterDelay  int `json:"router_delay,omitempty"`
+	ChannelDelay int `json:"channel_delay,omitempty"`
+	CreditDelay  int `json:"credit_delay,omitempty"`
+	Speedup      int `json:"speedup,omitempty"`
+}
+
+// Spec is a declarative sweep: the cross product of its axes, minus
+// incompatible pairs. The fat-tree-only "anca" algorithm is paired only
+// with FT-3 topologies; the table-driven algorithms (min, val, val3,
+// ugal-l, ugal-g) pair with every topology, FT-3 included.
+type Spec struct {
+	Name     string     `json:"name"`
+	Topos    []TopoSpec `json:"topologies"`
+	Algos    []string   `json:"algos"`    // min val val3 ugal-l ugal-g anca
+	Patterns []string   `json:"patterns"` // uniform shuffle bitrev bitcomp shift worstcase
+	Loads    []float64  `json:"loads"`
+	Seeds    []uint64   `json:"seeds,omitempty"` // default: [1]
+	Sim      SimParams  `json:"sim,omitempty"`
+}
+
+// Job is one fully resolved simulation point of a sweep.
+type Job struct {
+	Topo    TopoSpec  `json:"topo"`
+	Algo    string    `json:"algo"`
+	Pattern string    `json:"pattern"`
+	Load    float64   `json:"load"`
+	Seed    uint64    `json:"seed"`
+	Sim     SimParams `json:"sim"`
+}
+
+// Label returns the human-readable job identifier used in progress output
+// and result tables.
+func (j Job) Label() string {
+	return fmt.Sprintf("%s %s %s load=%g seed=%d", j.Topo, j.Algo, j.Pattern, j.Load, j.Seed)
+}
+
+// Key returns the job's content address: a stable hex SHA-256 over the
+// cache format version and the canonical JSON encoding of the job. Two
+// processes (or two runs of the same sweep) computing the key for the same
+// configuration always agree, which is what makes the cache resumable.
+func (j Job) Key() string {
+	enc, err := json.Marshal(j)
+	if err != nil {
+		panic(fmt.Sprintf("sweep: job not marshallable: %v", err)) // struct of scalars; cannot fail
+	}
+	h := sha256.New()
+	io.WriteString(h, cacheFormat)
+	h.Write([]byte{'\n'})
+	h.Write(enc)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+var knownAlgos = map[string]bool{
+	"min": true, "val": true, "val3": true, "ugal-l": true, "ugal-g": true, "anca": true,
+}
+
+var knownPatterns = map[string]bool{
+	"uniform": true, "shuffle": true, "bitrev": true, "bitcomp": true,
+	"shift": true, "worstcase": true,
+}
+
+// sortedNames returns the keys of m in sorted order (for error messages).
+func sortedNames(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate checks the spec for structural errors before expansion.
+func (s *Spec) Validate() error {
+	if len(s.Topos) == 0 {
+		return fmt.Errorf("sweep: spec %q has no topologies", s.Name)
+	}
+	if len(s.Algos) == 0 {
+		return fmt.Errorf("sweep: spec %q has no algos", s.Name)
+	}
+	if len(s.Loads) == 0 {
+		return fmt.Errorf("sweep: spec %q has no loads", s.Name)
+	}
+	for _, t := range s.Topos {
+		if t.Kind == "" {
+			return fmt.Errorf("sweep: topology with empty kind")
+		}
+		if t.N < 0 || t.Q < 0 || t.P < 0 {
+			return fmt.Errorf("sweep: topology %s has a negative size field", t)
+		}
+		if t.Q == 0 && t.N <= 0 {
+			return fmt.Errorf("sweep: topology %s needs n or q", t)
+		}
+		if t.Q > 0 && t.Kind != "SF" {
+			return fmt.Errorf("sweep: topology %s: q is only valid for kind SF", t)
+		}
+		if t.P > 0 && t.Q == 0 {
+			return fmt.Errorf("sweep: topology %s sets p without q", t)
+		}
+	}
+	for _, a := range s.Algos {
+		if !knownAlgos[a] {
+			return fmt.Errorf("sweep: unknown algo %q (known: %v)", a, sortedNames(knownAlgos))
+		}
+	}
+	for _, p := range s.Patterns {
+		if !knownPatterns[p] {
+			return fmt.Errorf("sweep: unknown pattern %q (known: %v)", p, sortedNames(knownPatterns))
+		}
+	}
+	for _, l := range s.Loads {
+		if l < 0 || l > 1 {
+			return fmt.Errorf("sweep: load %v out of [0,1]", l)
+		}
+	}
+	return nil
+}
+
+// compatible reports whether algorithm a can run on topology t: "anca" is
+// the fat-tree NCA protocol and only pairs with FT-3; the table-driven
+// algorithms run everywhere.
+func compatible(t TopoSpec, a string) bool {
+	if a == "anca" {
+		return t.Kind == "FT-3"
+	}
+	return true
+}
+
+// Expand produces the deterministic job list of the sweep: nested loops
+// over topologies, patterns, algorithms, loads and seeds, in spec order,
+// skipping incompatible topology/algorithm pairs. Two calls on the same
+// spec always yield the same list in the same order.
+func (s *Spec) Expand() ([]Job, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	patterns := s.Patterns
+	if len(patterns) == 0 {
+		patterns = []string{"uniform"}
+	}
+	seeds := s.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	var jobs []Job
+	for _, t := range s.Topos {
+		for _, p := range patterns {
+			for _, a := range s.Algos {
+				if !compatible(t, a) {
+					continue
+				}
+				for _, l := range s.Loads {
+					for _, sd := range seeds {
+						jobs = append(jobs, Job{
+							Topo: t, Algo: a, Pattern: p, Load: l, Seed: sd, Sim: s.Sim,
+						})
+					}
+				}
+			}
+		}
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("sweep: spec %q expands to no compatible jobs", s.Name)
+	}
+	return jobs, nil
+}
+
+// ParseSpec decodes a JSON sweep spec and validates it. Unknown fields are
+// rejected so typos in hand-written specs fail loudly instead of silently
+// sweeping the wrong grid.
+func ParseSpec(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("sweep: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ParseSpecs decodes either a single JSON spec object or a JSON array of
+// specs. Grouped experiments (each topology paired with its own protocol
+// set, as in Figure 6) are expressed as an array whose expansions are
+// concatenated by ExpandAll.
+func ParseSpecs(r io.Reader) ([]*Spec, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: reading spec: %w", err)
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("sweep: empty spec")
+	}
+	var specs []*Spec
+	switch trimmed[0] {
+	case '[':
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&specs); err != nil {
+			return nil, fmt.Errorf("sweep: parsing spec list: %w", err)
+		}
+	case '{':
+		s, err := ParseSpec(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return []*Spec{s}, nil
+	default:
+		return nil, fmt.Errorf("sweep: spec must be a JSON object or array")
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("sweep: empty spec list")
+	}
+	for i, s := range specs {
+		if s == nil {
+			return nil, fmt.Errorf("sweep: spec %d in list is null", i)
+		}
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return specs, nil
+}
+
+// ExpandAll concatenates the deterministic expansions of several specs,
+// in order.
+func ExpandAll(specs []*Spec) ([]Job, error) {
+	var jobs []Job
+	for _, s := range specs {
+		js, err := s.Expand()
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, js...)
+	}
+	return jobs, nil
+}

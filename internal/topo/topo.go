@@ -11,6 +11,7 @@ package topo
 
 import (
 	"fmt"
+	"sync"
 
 	"slimfly/internal/graph"
 )
@@ -58,7 +59,11 @@ type Base struct {
 	// uniformly: endpoint e lives on router e / P.
 	EpRouter []int32
 
-	routerEps [][]int // lazily built reverse map
+	// routerEps is the lazily built reverse map, guarded by epsOnce:
+	// concurrent simulations (the sweep pool, exp's runAll) share one
+	// topology and may trigger the first build simultaneously.
+	epsOnce   sync.Once
+	routerEps [][]int
 }
 
 // Name implements Topology.
@@ -95,13 +100,14 @@ func (b *Base) EndpointRouter(e int) int {
 
 // RouterEndpoints implements Topology.
 func (b *Base) RouterEndpoints(r int) []int {
-	if b.routerEps == nil {
-		b.routerEps = make([][]int, b.G.N())
+	b.epsOnce.Do(func() {
+		eps := make([][]int, b.G.N())
 		for e := 0; e < b.N; e++ {
 			h := b.EndpointRouter(e)
-			b.routerEps[h] = append(b.routerEps[h], e)
+			eps[h] = append(eps[h], e)
 		}
-	}
+		b.routerEps = eps
+	})
 	return b.routerEps[r]
 }
 
