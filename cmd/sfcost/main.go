@@ -14,7 +14,7 @@ import (
 
 	"slimfly/internal/cost"
 	"slimfly/internal/layout"
-	"slimfly/internal/roster"
+	"slimfly/internal/scenario"
 	"slimfly/internal/topo"
 )
 
@@ -27,7 +27,7 @@ func main() {
 	)
 	flag.Parse()
 
-	t, err := roster.Near(roster.Kind(*kind), *n, *seed)
+	t, err := scenario.Topology(scenario.TopoSpec{Kind: *kind, N: *n, Seed: *seed})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sfcost:", err)
 		os.Exit(1)

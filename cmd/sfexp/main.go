@@ -3,9 +3,13 @@
 // Usage:
 //
 //	sfexp -exp fig1|fig5a|fig5b|fig5c|table2|table3|diam-resil|apl-resil|
-//	          vc|fig6a|fig6b|fig6c|fig6d|fig8a|fig8be|cables|routers|
+//	          vc|fig6|fig6a|fig6b|fig6c|fig6d|fig8a|fig8be|cables|routers|
 //	          cost|power|table4|all
-//	      [-scale small|paper] [-seed N] [-samples N]
+//	      [-scale small|paper] [-seed N] [-samples N] [-pattern P]
+//
+// "fig6" is the generic form of the Figure 6 experiment: it accepts any
+// traffic pattern registered in the scenario registry via -pattern
+// (fig6a-d are shorthands for uniform, bitrev, shift and worstcase).
 //
 // Simulator-backed experiments (fig6*, fig8*) default to the small scale
 // (N ~ 1000); the paper reports that 1K-10K endpoint networks give results
@@ -20,6 +24,7 @@ import (
 
 	"slimfly/internal/cost"
 	"slimfly/internal/exp"
+	"slimfly/internal/scenario"
 )
 
 func main() {
@@ -28,13 +33,14 @@ func main() {
 		scale   = flag.String("scale", "small", "simulation scale: tiny, small or paper")
 		seed    = flag.Uint64("seed", 1, "deterministic seed")
 		samples = flag.Int("samples", 24, "samples per resiliency point")
+		pattern = flag.String("pattern", "uniform", "traffic pattern for the generic fig6 experiment (see sfsim -list)")
 		list    = flag.Bool("list", false, "list experiment ids")
 	)
 	flag.Parse()
 
 	ids := []string{
 		"fig1", "fig5a", "fig5b", "fig5c", "table2", "table3",
-		"diam-resil", "apl-resil", "vc", "fig6a", "fig6b", "fig6c", "fig6d",
+		"diam-resil", "apl-resil", "vc", "fig6", "fig6a", "fig6b", "fig6c", "fig6d",
 		"fig8a", "fig8be", "cables", "routers", "cost", "power", "table4", "extensions",
 	}
 	if *list {
@@ -80,6 +86,15 @@ func main() {
 			fmt.Println(exp.APLResil(1000, *samples, *seed))
 		case "vc":
 			fmt.Println(exp.VCCounts(*seed))
+		case "fig6":
+			// The generic form: the Figure 6 protocol set under any
+			// registered traffic pattern (-pattern), not just the four
+			// subfigures of the paper.
+			if err := scenario.CheckName(scenario.Patterns, *pattern); err != nil {
+				fmt.Fprintln(os.Stderr, "sfexp:", err)
+				os.Exit(2)
+			}
+			fmt.Println(exp.Fig6(*pattern, sc, *seed))
 		case "fig6a":
 			fmt.Println(exp.Fig6("uniform", sc, *seed))
 		case "fig6b":
@@ -110,6 +125,9 @@ func main() {
 
 	if *which == "all" {
 		for _, id := range ids {
+			if id == "fig6" {
+				continue // parameterised form; "all" already runs fig6a-d
+			}
 			run(id)
 		}
 		return

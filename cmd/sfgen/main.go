@@ -4,9 +4,10 @@
 // Usage:
 //
 //	sfgen -topo SF -n 10830            # balanced config near N endpoints
-//	sfgen -topo SF -q 19               # Slim Fly by field order
+//	sfgen -topo SF -q 19 -p 18         # Slim Fly by field order (oversubscribed p)
 //	sfgen -topo DF -n 9702 -edges      # dump router edge list
 //	sfgen -orders                      # list valid Slim Fly orders
+//	sfgen -list                        # registered topology kinds
 package main
 
 import (
@@ -15,22 +16,31 @@ import (
 	"os"
 
 	"slimfly/internal/export"
-	"slimfly/internal/roster"
+	"slimfly/internal/scenario"
 	"slimfly/internal/topo"
 	"slimfly/internal/topo/slimfly"
 )
 
 func main() {
 	var (
-		kind   = flag.String("topo", "SF", "topology kind: SF DF FT-3 FBF-3 T3D T5D HC LH-HC DLN")
+		kind   = flag.String("topo", "SF", "topology kind (see -list)")
 		n      = flag.Int("n", 1000, "target endpoint count")
 		q      = flag.Int("q", 0, "Slim Fly field order (overrides -n for SF)")
+		p      = flag.Int("p", 0, "Slim Fly concentration override (needs -q)")
 		seed   = flag.Uint64("seed", 1, "seed for randomized topologies")
 		edges  = flag.Bool("edges", false, "print the router edge list")
 		asJSON = flag.Bool("json", false, "print the full topology description as JSON")
 		orders = flag.Bool("orders", false, "list valid Slim Fly orders up to 128")
+		list   = flag.Bool("list", false, "list registered topology kinds")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, in := range scenario.Describe(scenario.Topologies) {
+			fmt.Printf("%-10s %s\n", in.Name, in.Desc)
+		}
+		return
+	}
 
 	if *orders {
 		for _, qq := range slimfly.ValidOrders(3, 128) {
@@ -42,15 +52,8 @@ func main() {
 		return
 	}
 
-	var (
-		t   topo.Topology
-		err error
-	)
-	if *kind == "SF" && *q > 0 {
-		t, err = slimfly.New(*q)
-	} else {
-		t, err = roster.Near(roster.Kind(*kind), *n, *seed)
-	}
+	ts := scenario.TopoSpec{Kind: *kind, N: *n, Q: *q, P: *p, Seed: *seed}.Canonical()
+	t, err := scenario.Topology(ts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sfgen:", err)
 		os.Exit(1)

@@ -1,31 +1,34 @@
 // Command sfsim runs a single network simulation and prints the result.
+// Topologies, routing algorithms and traffic patterns are resolved by name
+// through the scenario registry (internal/scenario), so sfsim accepts
+// exactly the names sweep specs and `sfsweep -list` do.
 //
 // Usage:
 //
 //	sfsim -topo SF -n 1000 -algo ugal-l -pattern uniform -load 0.5
-//	sfsim -topo SF -n 1000 -algo min -pattern worstcase -load 0.2 -sweep
+//	sfsim -topo SF -q 19 -p 18 -algo min -pattern worstcase -load 0.2 -sweep
+//	sfsim -list
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 
-	"slimfly/internal/roster"
-	"slimfly/internal/route"
+	"slimfly/internal/scenario"
 	"slimfly/internal/sim"
 	"slimfly/internal/topo"
-	"slimfly/internal/topo/fattree"
-	"slimfly/internal/topo/slimfly"
-	"slimfly/internal/traffic"
 )
 
 func main() {
 	var (
-		kind    = flag.String("topo", "SF", "topology kind")
+		kind    = flag.String("topo", "SF", "topology kind (see -list)")
 		n       = flag.Int("n", 1000, "target endpoint count")
-		algo    = flag.String("algo", "min", "routing: min val ugal-l ugal-g anca")
-		pattern = flag.String("pattern", "uniform", "traffic: uniform shuffle bitrev bitcomp shift worstcase")
+		q       = flag.Int("q", 0, "exact Slim Fly order (overrides -n for SF)")
+		p       = flag.Int("p", 0, "Slim Fly concentration override (needs -q)")
+		algo    = flag.String("algo", "min", "routing algorithm (see -list)")
+		pattern = flag.String("pattern", "uniform", "traffic pattern (see -list)")
 		load    = flag.Float64("load", 0.5, "offered load per endpoint")
 		sweep   = flag.Bool("sweep", false, "sweep loads 0.1..0.9 instead of a single point")
 		warmup  = flag.Int("warmup", 2000, "warmup cycles")
@@ -33,82 +36,73 @@ func main() {
 		bufSize = flag.Int("buf", 64, "flit buffering per port")
 		vcs     = flag.Int("vcs", 3, "virtual channels")
 		seed    = flag.Uint64("seed", 1, "seed")
+		list    = flag.Bool("list", false, "list registered topologies, algos and patterns")
 	)
 	flag.Parse()
 
-	t, err := roster.Near(roster.Kind(*kind), *n, *seed)
+	if *list {
+		fmt.Print(scenario.ListText())
+		return
+	}
+
+	spec := scenario.Spec{
+		Topo:    scenario.TopoSpec{Kind: *kind, N: *n, Q: *q, P: *p, Seed: *seed},
+		Algo:    *algo,
+		Pattern: *pattern,
+		Load:    *load,
+		Seed:    *seed,
+		Sim: scenario.SimParams{
+			Warmup: *warmup, Measure: *measure,
+			NumVCs: *vcs, BufPerPort: *bufSize,
+		},
+	}
+	spec.Topo = spec.Topo.Canonical()
+	if err := spec.Validate(); err != nil {
+		usage(err)
+	}
+
+	// The memoised Env shares the topology, tables and pattern across the
+	// load sweep; only the load differs per run.
+	env := scenario.NewEnv()
+	t, _, err := env.Topo(spec.Topo)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "sfsim:", err)
-		os.Exit(1)
+		fail(err)
 	}
-	tb := route.Build(t.Graph())
-
-	var a sim.Algo
-	switch *algo {
-	case "min":
-		a = sim.MIN{}
-	case "val":
-		a = sim.VAL{}
-	case "ugal-l":
-		a = sim.UGALL{}
-	case "ugal-g":
-		a = sim.UGALG{}
-	case "anca":
-		ft, ok := t.(*fattree.FatTree)
-		if !ok {
-			fmt.Fprintln(os.Stderr, "sfsim: anca requires -topo FT-3")
-			os.Exit(2)
-		}
-		a = sim.FTANCA{FT: ft}
-	default:
-		fmt.Fprintf(os.Stderr, "sfsim: unknown algo %q\n", *algo)
-		os.Exit(2)
-	}
-
-	var p traffic.Pattern
-	switch *pattern {
-	case "uniform":
-		p = traffic.Uniform{N: t.Endpoints()}
-	case "shuffle":
-		p = traffic.Shuffle(t.Endpoints())
-	case "bitrev":
-		p = traffic.BitReversal(t.Endpoints())
-	case "bitcomp":
-		p = traffic.BitComplement(t.Endpoints())
-	case "shift":
-		p = traffic.Shift{N: t.Endpoints()}
-	case "worstcase":
-		switch tt := t.(type) {
-		case *slimfly.SlimFly:
-			p = traffic.WorstCaseSF(tt, tb, *seed)
-		case *fattree.FatTree:
-			p = traffic.WorstCaseFT(tt.Arity, tt)
-		default:
-			fmt.Fprintln(os.Stderr, "sfsim: worstcase supported for SF and FT-3")
-			os.Exit(2)
-		}
-	default:
-		fmt.Fprintf(os.Stderr, "sfsim: unknown pattern %q\n", *pattern)
-		os.Exit(2)
-	}
-
 	fmt.Println(topo.Summary(t))
-	loads := []float64{*load}
+	if spec.Pattern == "worstcase" && !scenario.HasWorstCase(t) {
+		fmt.Fprintf(os.Stderr, "sfsim: no adversarial pattern for %s; worstcase falls back to uniform traffic\n", t.Name())
+	}
+
+	loads := []float64{spec.Load}
 	if *sweep {
 		loads = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
 	}
 	fmt.Printf("%-6s %-12s %-10s %-9s %-9s\n", "load", "avg_latency", "accepted", "avg_hops", "saturated")
 	for _, l := range loads {
-		s, err := sim.New(sim.Config{
-			Topo: t, Tables: tb, Algo: a, Pattern: p, Load: l,
-			NumVCs: *vcs, BufPerPort: *bufSize,
-			Warmup: *warmup, Measure: *measure, Seed: *seed,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "sfsim:", err)
-			os.Exit(1)
+		cfg, err := env.Config(spec, scenario.WithLoad(l))
+		var ie *scenario.IncompatibleError
+		if errors.As(err, &ie) {
+			usage(err) // a bad flag pairing, not a runtime failure
 		}
-		r := s.Run()
+		if err != nil {
+			fail(err)
+		}
+		r, err := sim.Run(cfg)
+		if err != nil {
+			fail(err)
+		}
 		fmt.Printf("%-6.2f %-12.2f %-10.4f %-9.3f %-9v\n", l, r.AvgLatency, r.Accepted, r.AvgHops, r.Saturated)
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sfsim:", err)
+	os.Exit(1)
+}
+
+// usage exits with status 2 for flag-level mistakes (unknown or
+// incompatible scenario names), matching the other CLIs' convention.
+func usage(err error) {
+	fmt.Fprintln(os.Stderr, "sfsim:", err)
+	os.Exit(2)
 }

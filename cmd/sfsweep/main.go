@@ -9,6 +9,7 @@
 //
 //	sfsweep -spec examples/sweeps/fig6a.json -out sweep-out
 //	sfsweep -spec spec.json -dry-run          # print the job list and exit
+//	sfsweep -list                             # registered scenario names
 //
 // Interrupting a sweep (Ctrl-C) stops it cleanly after the in-flight jobs;
 // finished points are already in the cache, so re-running the same command
@@ -27,6 +28,7 @@ import (
 	"time"
 
 	"slimfly/internal/export"
+	"slimfly/internal/scenario"
 	"slimfly/internal/sweep"
 )
 
@@ -39,8 +41,13 @@ func main() {
 		interval = flag.Duration("progress", 2*time.Second, "progress report interval (0 disables)")
 		dryRun   = flag.Bool("dry-run", false, "print the expanded job list and exit")
 		noCache  = flag.Bool("no-cache", false, "execute every job, ignoring and not writing the cache")
+		list     = flag.Bool("list", false, "list registered topologies, algos and patterns")
 	)
 	flag.Parse()
+	if *list {
+		fmt.Print(scenario.ListText())
+		return
+	}
 	if *specPath == "" {
 		fmt.Fprintln(os.Stderr, "sfsweep: -spec required")
 		os.Exit(2)

@@ -6,6 +6,7 @@ import (
 
 	"slimfly/internal/roster"
 	"slimfly/internal/route"
+	"slimfly/internal/scenario"
 	"slimfly/internal/sim"
 	"slimfly/internal/sweep"
 	"slimfly/internal/topo"
@@ -137,9 +138,9 @@ func runConfigs(cfgs []sim.Config) []sim.Result {
 }
 
 // patternFor builds the per-topology traffic pattern for a Figure 6
-// subfigure; the construction rules live in the sweep engine now.
+// subfigure; the construction rules live in the scenario registry now.
 func (p *perfNetworks) patternFor(name string, tp topo.Topology, tb *route.Tables, seed uint64) traffic.Pattern {
-	pat, err := sweep.BuildPattern(name, tp, tb, seed)
+	pat, err := scenario.BuildPattern(name, tp, tb, seed)
 	if err != nil {
 		return traffic.Uniform{N: tp.Endpoints()}
 	}
@@ -175,7 +176,7 @@ func Fig6(pattern string, sc PerfScale, seed uint64) *Table {
 	for _, load := range sc.Loads {
 		for _, pr := range fig6Protocols {
 			nb := byKind[pr.Kind]
-			algo, err := sweep.BuildAlgo(pr.Algo, nb.tp)
+			algo, err := scenario.BuildAlgo(pr.Algo, nb.tp)
 			if err != nil {
 				panic(err)
 			}
@@ -194,7 +195,7 @@ func Fig6(pattern string, sc PerfScale, seed uint64) *Table {
 func Fig8a(sc PerfScale, seed uint64) *Table {
 	sf := roster.MustNear(roster.SF, sc.TargetN, seed).(*slimfly.SlimFly)
 	tb := route.Build(sf.Graph())
-	wc := traffic.WorstCaseSF(sf, tb, seed)
+	wc := sf.WorstCase(tb, seed)
 	t := &Table{
 		Title:   fmt.Sprintf("Figure 8a: buffer-size study (worst-case traffic, SF N=%d, UGAL-L)", sf.Endpoints()),
 		Columns: []string{"buffer_flits", "load", "avg_latency", "accepted"},
@@ -254,7 +255,7 @@ func Fig8be(sc PerfScale, seed uint64) *Table {
 			var pattern traffic.Pattern = traffic.Uniform{N: sf.Endpoints()}
 			loads := []float64{0.2, 0.4, 0.6, 0.8}
 			if pat == "worstcase" {
-				pattern = traffic.WorstCaseSF(sf, tb, seed)
+				pattern = sf.WorstCase(tb, seed)
 				loads = []float64{0.1, 0.2, 0.3, 0.4, 0.5}
 			}
 			for _, a := range algos {

@@ -1,9 +1,10 @@
-package route
+package route_test
 
 import (
 	"testing"
 
 	"slimfly/internal/graph"
+	"slimfly/internal/route"
 	"slimfly/internal/topo/random"
 	"slimfly/internal/topo/slimfly"
 )
@@ -18,7 +19,7 @@ func ring(n int) *graph.Graph {
 
 func TestTablesRing(t *testing.T) {
 	g := ring(8)
-	tb := Build(g)
+	tb := route.Build(g)
 	if tb.Distance(0, 4) != 4 {
 		t.Errorf("dist(0,4) = %d", tb.Distance(0, 4))
 	}
@@ -39,7 +40,7 @@ func TestTablesRing(t *testing.T) {
 
 func TestPathProperties(t *testing.T) {
 	sf := slimfly.MustNew(5)
-	tb := Build(sf.Graph())
+	tb := route.Build(sf.Graph())
 	n := sf.Routers()
 	for u := 0; u < n; u += 7 {
 		for d := 0; d < n; d += 5 {
@@ -65,7 +66,7 @@ func TestPathProperties(t *testing.T) {
 
 func TestDistanceSymmetry(t *testing.T) {
 	sf := slimfly.MustNew(7)
-	tb := Build(sf.Graph())
+	tb := route.Build(sf.Graph())
 	n := sf.Routers()
 	for u := 0; u < n; u += 3 {
 		for d := u; d < n; d += 11 {
@@ -78,7 +79,7 @@ func TestDistanceSymmetry(t *testing.T) {
 
 func TestValiantLen(t *testing.T) {
 	g := ring(8)
-	tb := Build(g)
+	tb := route.Build(g)
 	// s=0 via r=2 to d=4: 2 + 2 = 4 hops.
 	if got := tb.ValiantLen(0, 2, 4); got != 4 {
 		t.Errorf("valiant len = %d, want 4", got)
@@ -89,7 +90,7 @@ func TestDisconnectedTables(t *testing.T) {
 	g := graph.New(4)
 	g.MustAddEdge(0, 1)
 	g.MustAddEdge(2, 3)
-	tb := Build(g)
+	tb := route.Build(g)
 	if tb.Distance(0, 2) != -1 {
 		t.Errorf("dist across components = %d, want -1", tb.Distance(0, 2))
 	}
@@ -104,8 +105,8 @@ func TestDisconnectedTables(t *testing.T) {
 func TestVCLayeringSlimFly(t *testing.T) {
 	for _, q := range []int{5, 7} {
 		sf := slimfly.MustNew(q)
-		tb := Build(sf.Graph())
-		vl := ComputeVCLayering(tb)
+		tb := route.Build(sf.Graph())
+		vl := route.ComputeVCLayering(tb)
 		if vl.Layers < 1 || vl.Layers > 4 {
 			t.Errorf("q=%d: SF layering needs %d VCs, want 1-4 (paper: 3)", q, vl.Layers)
 		}
@@ -124,9 +125,9 @@ func TestVCLayeringSlimFly(t *testing.T) {
 // DLN topologies need more VC layers than Slim Fly.
 func TestVCLayeringDLNWorse(t *testing.T) {
 	sf := slimfly.MustNew(5)
-	sfVC := ComputeVCLayering(Build(sf.Graph())).Layers
+	sfVC := route.ComputeVCLayering(route.Build(sf.Graph())).Layers
 	dln := random.MustNew(50, 3, 4, 11)
-	dlnVC := ComputeVCLayering(Build(dln.Graph())).Layers
+	dlnVC := route.ComputeVCLayering(route.Build(dln.Graph())).Layers
 	if dlnVC < sfVC {
 		t.Errorf("DLN layering (%d) needs fewer VCs than SF (%d); paper reports the opposite", dlnVC, sfVC)
 	}
@@ -135,15 +136,15 @@ func TestVCLayeringDLNWorse(t *testing.T) {
 func TestVCLayeringRingNeedsLayers(t *testing.T) {
 	// Minimal routing on a ring has cyclic channel dependencies, so more
 	// than one layer is required.
-	tb := Build(ring(8))
-	vl := ComputeVCLayering(tb)
+	tb := route.Build(ring(8))
+	vl := route.ComputeVCLayering(tb)
 	if vl.Layers < 2 {
 		t.Errorf("ring layering = %d, want >= 2", vl.Layers)
 	}
 }
 
 func TestGopalVCCount(t *testing.T) {
-	if GopalVCCount(2) != 2 || GopalVCCount(4) != 4 {
+	if route.GopalVCCount(2) != 2 || route.GopalVCCount(4) != 4 {
 		t.Error("Gopal VC counts wrong")
 	}
 }
@@ -152,14 +153,14 @@ func BenchmarkBuildTablesQ19(b *testing.B) {
 	sf := slimfly.MustNew(19)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Build(sf.Graph())
+		route.Build(sf.Graph())
 	}
 }
 
 func BenchmarkVCLayeringQ5(b *testing.B) {
-	tb := Build(slimfly.MustNew(5).Graph())
+	tb := route.Build(slimfly.MustNew(5).Graph())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ComputeVCLayering(tb)
+		route.ComputeVCLayering(tb)
 	}
 }

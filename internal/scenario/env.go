@@ -1,0 +1,140 @@
+package scenario
+
+import (
+	"sync"
+
+	"slimfly/internal/route"
+	"slimfly/internal/sim"
+	"slimfly/internal/topo"
+	"slimfly/internal/traffic"
+)
+
+// Env resolves scenario specs into runnable simulator configurations,
+// memoising the expensive parts -- topology construction, routing-table
+// builds and adversarial-pattern derivation -- so many resolutions of the
+// same network (a sweep's workers, a CLI load sweep) build it exactly
+// once. All methods are safe for concurrent use; construction is lazy, so
+// a fully cached sweep never builds anything.
+type Env struct {
+	mu       sync.Mutex
+	topos    map[TopoSpec]*builtTopo
+	patterns map[patternKey]*builtPattern
+}
+
+type builtTopo struct {
+	once sync.Once
+	tp   topo.Topology
+	tb   *route.Tables
+	err  error
+}
+
+type patternKey struct {
+	topo TopoSpec
+	name string
+	seed uint64
+}
+
+type builtPattern struct {
+	once sync.Once
+	pat  traffic.Pattern
+	err  error
+}
+
+// NewEnv returns an empty resolver environment.
+func NewEnv() *Env {
+	return &Env{
+		topos:    make(map[TopoSpec]*builtTopo),
+		patterns: make(map[patternKey]*builtPattern),
+	}
+}
+
+// Topo builds (once) and returns the topology and its minimal routing
+// tables for spec t.
+func (e *Env) Topo(t TopoSpec) (topo.Topology, *route.Tables, error) {
+	t = t.Canonical()
+	e.mu.Lock()
+	b := e.topos[t]
+	if b == nil {
+		b = &builtTopo{}
+		e.topos[t] = b
+	}
+	e.mu.Unlock()
+	b.once.Do(func() {
+		b.tp, b.tb, b.err = BuildTopology(t)
+	})
+	return b.tp, b.tb, b.err
+}
+
+// Pattern builds (once) the named traffic pattern for topology spec t.
+// Adversarial ("worstcase") patterns depend on the topology, its routing
+// tables and the seed; the read-only result is shared across workers.
+func (e *Env) Pattern(t TopoSpec, name string, seed uint64) (traffic.Pattern, error) {
+	t = t.Canonical()
+	k := patternKey{topo: t, name: name, seed: seed}
+	e.mu.Lock()
+	b := e.patterns[k]
+	if b == nil {
+		b = &builtPattern{}
+		e.patterns[k] = b
+	}
+	e.mu.Unlock()
+	b.once.Do(func() {
+		tp, tb, err := e.Topo(t)
+		if err != nil {
+			b.err = err
+			return
+		}
+		b.pat, b.err = BuildPattern(name, tp, tb, seed)
+	})
+	return b.pat, b.err
+}
+
+// Option adjusts a spec before resolution; Config applies options to its
+// own copy, so one base spec can be resolved at many loads or seeds while
+// the memoised topology and pattern are shared.
+type Option func(*Spec)
+
+// WithLoad overrides the offered load.
+func WithLoad(load float64) Option { return func(s *Spec) { s.Load = load } }
+
+// WithSeed overrides the simulation (and pattern derivation) seed.
+func WithSeed(seed uint64) Option { return func(s *Spec) { s.Seed = seed } }
+
+// WithAlgo overrides the routing algorithm by registry name.
+func WithAlgo(name string) Option { return func(s *Spec) { s.Algo = name } }
+
+// WithPattern overrides the traffic pattern by registry name.
+func WithPattern(name string) Option { return func(s *Spec) { s.Pattern = name } }
+
+// WithSim overrides the simulator knobs wholesale.
+func WithSim(p SimParams) Option { return func(s *Spec) { s.Sim = p } }
+
+// Config resolves spec s (with opts applied to a copy) into a runnable
+// simulator configuration: topology and tables from the memoised builds,
+// algorithm and pattern by registry name.
+func (e *Env) Config(s Spec, opts ...Option) (sim.Config, error) {
+	for _, o := range opts {
+		o(&s)
+	}
+	tp, tb, err := e.Topo(s.Topo)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	algo, err := BuildAlgo(s.Algo, tp)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	pat, err := e.Pattern(s.Topo, s.Pattern, s.Seed)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	p := s.Sim
+	return sim.Config{
+		Topo: tp, Tables: tb, Algo: algo, Pattern: pat, Load: s.Load,
+		NumVCs: p.NumVCs, BufPerPort: p.BufPerPort,
+		RouterDelay: p.RouterDelay, ChannelDelay: p.ChannelDelay,
+		CreditDelay: p.CreditDelay, Speedup: p.Speedup,
+		Warmup: p.Warmup, Measure: p.Measure, Drain: p.Drain,
+		Seed: s.Seed,
+	}, nil
+}

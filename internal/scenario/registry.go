@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"fmt"
+	"sync"
+
+	"slimfly/internal/route"
+	"slimfly/internal/sim"
+	"slimfly/internal/topo"
+	"slimfly/internal/traffic"
+)
+
+// TopologyDef registers one topology kind: how to build it from a
+// TopoSpec, plus a one-line description for -list output.
+type TopologyDef struct {
+	Name  string
+	Desc  string
+	Build func(t TopoSpec) (topo.Topology, error)
+}
+
+// AlgoDef registers one routing algorithm. Kinds, when non-empty,
+// restricts the topology kinds the algorithm pairs with (sweep expansion
+// skips other pairs; building one anyway yields an *IncompatibleError).
+type AlgoDef struct {
+	Name  string
+	Desc  string
+	Kinds []string
+	Build func(tp topo.Topology) (sim.Algo, error)
+}
+
+// PatternDef registers one traffic pattern. Build receives the topology,
+// its minimal routing tables and a seed (adversarial patterns need all
+// three; others ignore what they don't use).
+type PatternDef struct {
+	Name  string
+	Desc  string
+	Build func(tp topo.Topology, tb *route.Tables, seed uint64) (traffic.Pattern, error)
+}
+
+// registry is one axis: named defs in registration order. Registration
+// happens from package init only, but lookups are concurrent (sweep
+// workers resolve jobs in parallel), so reads take the lock too.
+type registry[D any] struct {
+	axis  Axis
+	mu    sync.RWMutex
+	order []string
+	m     map[string]D
+}
+
+func (r *registry[D]) add(name string, d D) {
+	if name == "" {
+		panic(fmt.Sprintf("scenario: registering empty %s name", r.axis))
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil {
+		r.m = make(map[string]D)
+	}
+	if _, dup := r.m[name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate %s %q", r.axis, name))
+	}
+	r.m[name] = d
+	r.order = append(r.order, name)
+}
+
+func (r *registry[D]) get(name string) (D, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.m[name]
+	if !ok {
+		return d, &UnknownError{Axis: r.axis, Name: name, Known: append([]string(nil), r.order...)}
+	}
+	return d, nil
+}
+
+func (r *registry[D]) names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+var (
+	topologies = &registry[TopologyDef]{axis: Topologies}
+	algos      = &registry[AlgoDef]{axis: Algos}
+	patterns   = &registry[PatternDef]{axis: Patterns}
+)
+
+func (r *registry[D]) describeWith(desc func(D) string) []Info {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Info, 0, len(r.order))
+	for _, n := range r.order {
+		out = append(out, Info{Name: n, Desc: desc(r.m[n])})
+	}
+	return out
+}
+
+// RegisterTopology adds a topology kind to the registry; it panics on
+// duplicate or empty names (registration is an init-time programming
+// error, not a runtime condition).
+func RegisterTopology(def TopologyDef) { topologies.add(def.Name, def) }
+
+// RegisterAlgo adds a routing algorithm to the registry.
+func RegisterAlgo(def AlgoDef) { algos.add(def.Name, def) }
+
+// RegisterPattern adds a traffic pattern to the registry.
+func RegisterPattern(def PatternDef) { patterns.add(def.Name, def) }

@@ -1,0 +1,249 @@
+package scenario_test
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"slimfly/internal/scenario"
+)
+
+func TestRegistriesPopulated(t *testing.T) {
+	wantTopos := []string{"SF", "DF", "FT-3", "FBF-3", "T3D", "T5D", "HC", "LH-HC", "DLN"}
+	wantAlgos := []string{"min", "val", "val3", "ugal-l", "ugal-g", "anca"}
+	wantPatterns := []string{"uniform", "shuffle", "bitrev", "bitcomp", "shift", "worstcase"}
+	if got := scenario.Names(scenario.Topologies); !reflect.DeepEqual(got, wantTopos) {
+		t.Errorf("topology names = %v, want %v", got, wantTopos)
+	}
+	if got := scenario.Names(scenario.Algos); !reflect.DeepEqual(got, wantAlgos) {
+		t.Errorf("algo names = %v, want %v", got, wantAlgos)
+	}
+	if got := scenario.Names(scenario.Patterns); !reflect.DeepEqual(got, wantPatterns) {
+		t.Errorf("pattern names = %v, want %v", got, wantPatterns)
+	}
+	for _, axis := range []scenario.Axis{scenario.Topologies, scenario.Algos, scenario.Patterns} {
+		for _, in := range scenario.Describe(axis) {
+			if in.Desc == "" {
+				t.Errorf("%s %q has no description", axis, in.Name)
+			}
+		}
+	}
+}
+
+func TestUnknownErrorsEnumerate(t *testing.T) {
+	err := scenario.CheckName(scenario.Algos, "ecmp")
+	var ue *scenario.UnknownError
+	if !errors.As(err, &ue) {
+		t.Fatalf("CheckName error = %T (%v), want *UnknownError", err, err)
+	}
+	if ue.Axis != scenario.Algos || ue.Name != "ecmp" {
+		t.Errorf("UnknownError = %+v", ue)
+	}
+	if !reflect.DeepEqual(ue.Known, scenario.Names(scenario.Algos)) {
+		t.Errorf("Known = %v, want registry names", ue.Known)
+	}
+	for _, name := range ue.Known {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not enumerate %q", err, name)
+		}
+	}
+}
+
+func TestListTextCoversAllNames(t *testing.T) {
+	txt := scenario.ListText()
+	for _, axis := range []scenario.Axis{scenario.Topologies, scenario.Algos, scenario.Patterns} {
+		for _, name := range scenario.Names(axis) {
+			if !strings.Contains(txt, name) {
+				t.Errorf("ListText misses %s %q", axis, name)
+			}
+		}
+	}
+}
+
+func TestCompatible(t *testing.T) {
+	sf := scenario.TopoSpec{Kind: "SF", Q: 5}
+	ft := scenario.TopoSpec{Kind: "FT-3", N: 64}
+	if scenario.Compatible(sf, "anca") {
+		t.Error("anca reported compatible with SF")
+	}
+	if !scenario.Compatible(ft, "anca") {
+		t.Error("anca reported incompatible with FT-3")
+	}
+	for _, a := range []string{"min", "val", "val3", "ugal-l", "ugal-g"} {
+		if !scenario.Compatible(sf, a) || !scenario.Compatible(ft, a) {
+			t.Errorf("table-driven algo %q reported incompatible", a)
+		}
+	}
+}
+
+func TestIncompatibleAlgoStructuredError(t *testing.T) {
+	tp, _, err := scenario.BuildTopology(scenario.TopoSpec{Kind: "SF", Q: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = scenario.BuildAlgo("anca", tp)
+	var ie *scenario.IncompatibleError
+	if !errors.As(err, &ie) {
+		t.Fatalf("BuildAlgo error = %T (%v), want *IncompatibleError", err, err)
+	}
+	if ie.Axis != scenario.Algos || ie.Name != "anca" || ie.Topo != "SF" {
+		t.Errorf("IncompatibleError = %+v", ie)
+	}
+}
+
+func TestTopoSpecValidate(t *testing.T) {
+	bad := []scenario.TopoSpec{
+		{},                         // empty kind
+		{Kind: "XX", N: 100},       // unknown kind
+		{Kind: "SF"},               // no size
+		{Kind: "SF", N: -1},        // negative
+		{Kind: "DF", Q: 5},         // q on non-SF
+		{Kind: "SF", N: 100, P: 5}, // p without q
+		{Kind: "SF", Q: 5, P: -1},  // negative p
+	}
+	for _, ts := range bad {
+		if err := ts.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", ts)
+		}
+	}
+	good := []scenario.TopoSpec{
+		{Kind: "SF", N: 100},
+		{Kind: "SF", Q: 5},
+		{Kind: "SF", Q: 19, P: 18},
+		{Kind: "DLN", N: 100, Seed: 3},
+	}
+	for _, ts := range good {
+		if err := ts.Validate(); err != nil {
+			t.Errorf("Validate rejected %+v: %v", ts, err)
+		}
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	s := scenario.Spec{
+		Topo:    scenario.TopoSpec{Kind: "SF", Q: 19, P: 18, Seed: 2},
+		Algo:    "ugal-l",
+		Pattern: "worstcase",
+		Load:    0.45,
+		Seed:    7,
+		Sim:     scenario.SimParams{Warmup: 100, Measure: 200, BufPerPort: 33},
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back scenario.Spec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != s {
+		t.Errorf("roundtrip = %+v, want %+v", back, s)
+	}
+	if back.Key() != s.Key() {
+		t.Error("roundtripped spec changed key")
+	}
+}
+
+// TestKeyGolden pins two content addresses computed by the sweep engine
+// before the Key machinery moved into this package: moving it must not
+// invalidate existing on-disk sweep caches.
+func TestKeyGolden(t *testing.T) {
+	cases := []struct {
+		spec scenario.Spec
+		want string
+	}{
+		{
+			scenario.Spec{
+				Topo: scenario.TopoSpec{Kind: "SF", Q: 5},
+				Algo: "min", Pattern: "uniform", Load: 0.1, Seed: 1,
+				Sim: scenario.SimParams{Warmup: 50, Measure: 100, Drain: 500},
+			},
+			"91021a853e8468eee43f1474d2d6c8f8a89db2aea1cebed03e28e4f1d25552d4",
+		},
+		{
+			scenario.Spec{
+				Topo: scenario.TopoSpec{Kind: "DF", N: 1000, Seed: 3},
+				Algo: "ugal-l", Pattern: "worstcase", Load: 0.45, Seed: 7,
+			},
+			"e90a43dd56a8469108b36daf4395dfacdaf991636259440f2f4b5ab147152389",
+		},
+	}
+	for _, c := range cases {
+		if got := c.spec.Key(); got != c.want {
+			t.Errorf("%s: Key() = %s, want %s (encoding changed: bump CacheFormat)", c.spec.Label(), got, c.want)
+		}
+	}
+}
+
+func TestConfigOptions(t *testing.T) {
+	env := scenario.NewEnv()
+	base := scenario.Spec{
+		Topo: scenario.TopoSpec{Kind: "SF", Q: 5},
+		Algo: "min", Pattern: "uniform", Load: 0.1, Seed: 1,
+		Sim: scenario.SimParams{Warmup: 10, Measure: 20, Drain: 100},
+	}
+	cfg, err := env.Config(base, scenario.WithLoad(0.7), scenario.WithSeed(9), scenario.WithAlgo("val"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Load != 0.7 || cfg.Seed != 9 {
+		t.Errorf("options not applied: load=%v seed=%d", cfg.Load, cfg.Seed)
+	}
+	if cfg.Algo.Name() != "VAL" {
+		t.Errorf("algo option not applied: %s", cfg.Algo.Name())
+	}
+	// The base spec is untouched (options apply to a copy)...
+	if base.Load != 0.1 || base.Seed != 1 || base.Algo != "min" {
+		t.Errorf("options mutated the base spec: %+v", base)
+	}
+	// ...and the memoised topology is shared across resolutions.
+	cfg2, err := env.Config(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topo != cfg2.Topo || cfg.Tables != cfg2.Tables {
+		t.Error("memoised topology rebuilt across Config calls")
+	}
+}
+
+func TestEnvCanonicalisesTopoKeys(t *testing.T) {
+	// An exact q overrides the near-sizing n, so a spec carrying both must
+	// share the memoised build with the canonical {q}-only form.
+	env := scenario.NewEnv()
+	a, _, err := env.Topo(scenario.TopoSpec{Kind: "SF", N: 1000, Q: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := env.Topo(scenario.TopoSpec{Kind: "SF", Q: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("non-canonical TopoSpec built a duplicate topology")
+	}
+}
+
+func TestEnvPatternMemoised(t *testing.T) {
+	env := scenario.NewEnv()
+	ts := scenario.TopoSpec{Kind: "SF", Q: 5}
+	a, err := env.Pattern(ts, "worstcase", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := env.Pattern(ts, "worstcase", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same (topo, pattern, seed) built twice")
+	}
+	c, err := env.Pattern(ts, "worstcase", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == c {
+		t.Error("different seeds shared one adversarial pattern")
+	}
+}

@@ -1,0 +1,107 @@
+package scenario
+
+// All topology kinds of the study register here; to add a kind, add one
+// RegisterTopology call (or call RegisterTopology from your own package's
+// init) and it becomes addressable from the CLIs, sweep specs and the
+// experiment suite at once.
+
+import (
+	"fmt"
+
+	"slimfly/internal/roster"
+	"slimfly/internal/route"
+	"slimfly/internal/topo"
+	"slimfly/internal/topo/slimfly"
+)
+
+// rosterBuilder adapts a roster kind (balanced configuration near N
+// endpoints) to the registry's build signature.
+func rosterBuilder(k roster.Kind) func(TopoSpec) (topo.Topology, error) {
+	return func(t TopoSpec) (topo.Topology, error) {
+		return roster.Near(k, t.N, t.Seed)
+	}
+}
+
+func init() {
+	RegisterTopology(TopologyDef{
+		Name: "SF",
+		Desc: "Slim Fly MMS graph, diameter 2 (n near-sizing, or exact q with optional oversubscribed p)",
+		Build: func(t TopoSpec) (topo.Topology, error) {
+			switch {
+			case t.Q > 0 && t.P > 0:
+				return slimfly.NewWithConcentration(t.Q, t.P)
+			case t.Q > 0:
+				return slimfly.New(t.Q)
+			default:
+				return roster.Near(roster.SF, t.N, t.Seed)
+			}
+		},
+	})
+	RegisterTopology(TopologyDef{
+		Name:  "DF",
+		Desc:  "balanced Dragonfly (Kim et al.), diameter 3",
+		Build: rosterBuilder(roster.DF),
+	})
+	RegisterTopology(TopologyDef{
+		Name:  "FT-3",
+		Desc:  "3-level fat tree (folded Clos)",
+		Build: rosterBuilder(roster.FT3),
+	})
+	RegisterTopology(TopologyDef{
+		Name:  "FBF-3",
+		Desc:  "3-dimensional flattened butterfly",
+		Build: rosterBuilder(roster.FBF3),
+	})
+	RegisterTopology(TopologyDef{
+		Name:  "T3D",
+		Desc:  "3-dimensional torus",
+		Build: rosterBuilder(roster.T3D),
+	})
+	RegisterTopology(TopologyDef{
+		Name:  "T5D",
+		Desc:  "5-dimensional torus",
+		Build: rosterBuilder(roster.T5D),
+	})
+	RegisterTopology(TopologyDef{
+		Name:  "HC",
+		Desc:  "binary hypercube",
+		Build: rosterBuilder(roster.HC),
+	})
+	RegisterTopology(TopologyDef{
+		Name:  "LH-HC",
+		Desc:  "long-hop hypercube (extra expander channels)",
+		Build: rosterBuilder(roster.LHHC),
+	})
+	RegisterTopology(TopologyDef{
+		Name:  "DLN",
+		Desc:  "random diameter-limited network (ring plus random shortcuts)",
+		Build: rosterBuilder(roster.DLN),
+	})
+}
+
+// Topology validates t and builds the named topology, without routing
+// tables (structure-only consumers like sfgen skip the all-pairs BFS).
+func Topology(t TopoSpec) (topo.Topology, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	def, err := topologies.get(t.Kind)
+	if err != nil {
+		return nil, err
+	}
+	tp, err := def.Build(t)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: building %s: %w", t, err)
+	}
+	return tp, nil
+}
+
+// BuildTopology builds the named topology together with the minimal
+// routing tables of its router graph, ready for simulation.
+func BuildTopology(t TopoSpec) (topo.Topology, *route.Tables, error) {
+	tp, err := Topology(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	return tp, route.Build(tp.Graph()), nil
+}

@@ -1,211 +1,18 @@
 package sweep
 
-import (
-	"fmt"
-	"sync"
+import "slimfly/internal/scenario"
 
-	"slimfly/internal/roster"
-	"slimfly/internal/route"
-	"slimfly/internal/sim"
-	"slimfly/internal/topo"
-	"slimfly/internal/topo/fattree"
-	"slimfly/internal/topo/slimfly"
-	"slimfly/internal/traffic"
-)
+// The construction machinery that used to live here -- topology, routing
+// algorithm and traffic pattern factories plus the memoising resolver --
+// is now the registry-driven internal/scenario package, shared with the
+// CLIs and the experiment suite. The aliases below keep the sweep API
+// surface (Env-based resolution, job units) stable for its consumers.
 
 // Env resolves declarative jobs into runnable simulator configurations,
-// memoising the expensive parts -- topology construction, routing-table
-// builds and adversarial-pattern derivation -- so a sweep touching the same
-// network from many workers builds it exactly once. All methods are safe
-// for concurrent use; construction is lazy, so a fully cached sweep never
-// builds anything.
-type Env struct {
-	mu       sync.Mutex
-	topos    map[TopoSpec]*builtTopo
-	patterns map[patternKey]*builtPattern
-}
-
-type builtTopo struct {
-	once sync.Once
-	tp   topo.Topology
-	tb   *route.Tables
-	err  error
-}
-
-type patternKey struct {
-	topo TopoSpec
-	name string
-	seed uint64
-}
-
-type builtPattern struct {
-	once sync.Once
-	pat  traffic.Pattern
-	err  error
-}
+// memoising topology construction, routing-table builds and
+// adversarial-pattern derivation. It is scenario.Env: the same resolver
+// the CLI tools use.
+type Env = scenario.Env
 
 // NewEnv returns an empty resolver environment.
-func NewEnv() *Env {
-	return &Env{
-		topos:    make(map[TopoSpec]*builtTopo),
-		patterns: make(map[patternKey]*builtPattern),
-	}
-}
-
-// Topo builds (once) and returns the topology and its minimal routing
-// tables for spec t.
-func (e *Env) Topo(t TopoSpec) (topo.Topology, *route.Tables, error) {
-	e.mu.Lock()
-	b := e.topos[t]
-	if b == nil {
-		b = &builtTopo{}
-		e.topos[t] = b
-	}
-	e.mu.Unlock()
-	b.once.Do(func() {
-		b.tp, b.tb, b.err = buildTopo(t)
-	})
-	return b.tp, b.tb, b.err
-}
-
-func buildTopo(t TopoSpec) (topo.Topology, *route.Tables, error) {
-	var tp topo.Topology
-	var err error
-	switch {
-	case t.Q > 0 && t.Kind != "SF":
-		return nil, nil, fmt.Errorf("sweep: q is only valid for kind SF, got %s", t)
-	case t.Q > 0 && t.P > 0:
-		tp, err = slimfly.NewWithConcentration(t.Q, t.P)
-	case t.Q > 0:
-		tp, err = slimfly.New(t.Q)
-	default:
-		tp, err = roster.Near(roster.Kind(t.Kind), t.N, t.Seed)
-	}
-	if err != nil {
-		return nil, nil, fmt.Errorf("sweep: building %s: %w", t, err)
-	}
-	return tp, route.Build(tp.Graph()), nil
-}
-
-// Pattern builds (once) the named traffic pattern for topology spec t.
-// Adversarial ("worstcase") patterns depend on the topology, its routing
-// tables and the seed; the read-only result is shared across workers.
-func (e *Env) Pattern(t TopoSpec, name string, seed uint64) (traffic.Pattern, error) {
-	k := patternKey{topo: t, name: name, seed: seed}
-	e.mu.Lock()
-	b := e.patterns[k]
-	if b == nil {
-		b = &builtPattern{}
-		e.patterns[k] = b
-	}
-	e.mu.Unlock()
-	b.once.Do(func() {
-		tp, tb, err := e.Topo(t)
-		if err != nil {
-			b.err = err
-			return
-		}
-		b.pat, b.err = BuildPattern(name, tp, tb, seed)
-	})
-	return b.pat, b.err
-}
-
-// BuildPattern constructs the named traffic pattern for an already built
-// topology. "worstcase" picks the per-family adversarial permutation of
-// Section V; families without one fall back to uniform traffic.
-func BuildPattern(name string, tp topo.Topology, tb *route.Tables, seed uint64) (traffic.Pattern, error) {
-	n := tp.Endpoints()
-	switch name {
-	case "", "uniform":
-		return traffic.Uniform{N: n}, nil
-	case "shuffle":
-		return traffic.Shuffle(n), nil
-	case "bitrev":
-		return traffic.BitReversal(n), nil
-	case "bitcomp":
-		return traffic.BitComplement(n), nil
-	case "shift":
-		return traffic.Shift{N: n}, nil
-	case "worstcase":
-		switch t := tp.(type) {
-		case *slimfly.SlimFly:
-			return traffic.WorstCaseSF(t, tb, seed), nil
-		case *fattree.FatTree:
-			return traffic.WorstCaseFT(t.Arity, t), nil
-		default:
-			if df, ok := tp.(interface{ Group(int) int }); ok {
-				groups := tp.Routers() / groupSize(tp)
-				return traffic.WorstCaseDF(df.Group, tp, groups), nil
-			}
-			return traffic.Uniform{N: n}, nil
-		}
-	default:
-		return nil, fmt.Errorf("sweep: unknown pattern %q", name)
-	}
-}
-
-// groupSize returns the routers-per-group of a grouped topology (1 when
-// ungrouped): the index at which Group first changes.
-func groupSize(tp topo.Topology) int {
-	a, ok := tp.(interface{ Group(int) int })
-	if !ok {
-		return 1
-	}
-	for r := 1; r < tp.Routers(); r++ {
-		if a.Group(r) != 0 {
-			return r
-		}
-	}
-	return tp.Routers()
-}
-
-// BuildAlgo constructs the named routing algorithm for an already built
-// topology.
-func BuildAlgo(name string, tp topo.Topology) (sim.Algo, error) {
-	switch name {
-	case "min":
-		return sim.MIN{}, nil
-	case "val":
-		return sim.VAL{}, nil
-	case "val3":
-		return sim.VAL3{}, nil
-	case "ugal-l":
-		return sim.UGALL{}, nil
-	case "ugal-g":
-		return sim.UGALG{}, nil
-	case "anca":
-		ft, ok := tp.(*fattree.FatTree)
-		if !ok {
-			return nil, fmt.Errorf("sweep: algo anca requires a fat tree, got %s", tp.Name())
-		}
-		return sim.FTANCA{FT: ft}, nil
-	default:
-		return nil, fmt.Errorf("sweep: unknown algo %q", name)
-	}
-}
-
-// Config resolves job j into a runnable simulator configuration. It is
-// called lazily by the pool, only for cache misses.
-func (e *Env) Config(j Job) (sim.Config, error) {
-	tp, tb, err := e.Topo(j.Topo)
-	if err != nil {
-		return sim.Config{}, err
-	}
-	algo, err := BuildAlgo(j.Algo, tp)
-	if err != nil {
-		return sim.Config{}, err
-	}
-	pat, err := e.Pattern(j.Topo, j.Pattern, j.Seed)
-	if err != nil {
-		return sim.Config{}, err
-	}
-	p := j.Sim
-	return sim.Config{
-		Topo: tp, Tables: tb, Algo: algo, Pattern: pat, Load: j.Load,
-		NumVCs: p.NumVCs, BufPerPort: p.BufPerPort,
-		RouterDelay: p.RouterDelay, ChannelDelay: p.ChannelDelay,
-		CreditDelay: p.CreditDelay, Speedup: p.Speedup,
-		Warmup: p.Warmup, Measure: p.Measure, Drain: p.Drain,
-		Seed: j.Seed,
-	}, nil
-}
+func NewEnv() *Env { return scenario.NewEnv() }

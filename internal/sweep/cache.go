@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"slimfly/internal/scenario"
 	"slimfly/internal/sim"
 )
 
@@ -69,7 +70,7 @@ func (c *Cache) Get(key string) (Entry, bool) {
 		return Entry{}, false
 	}
 	var e Entry
-	if err := json.Unmarshal(data, &e); err != nil || e.Format != cacheFormat {
+	if err := json.Unmarshal(data, &e); err != nil || e.Format != scenario.CacheFormat {
 		os.Remove(c.path(key))
 		return Entry{}, false
 	}
@@ -79,7 +80,7 @@ func (c *Cache) Get(key string) (Entry, bool) {
 // Put stores entry under key atomically. The temp file lives in the cache
 // root (same filesystem as the final path) so the rename is atomic.
 func (c *Cache) Put(key string, e Entry) error {
-	e.Format = cacheFormat
+	e.Format = scenario.CacheFormat
 	data, err := json.MarshalIndent(e, "", " ")
 	if err != nil {
 		return fmt.Errorf("sweep: encoding cache entry: %w", err)

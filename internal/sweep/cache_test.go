@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"slimfly/internal/scenario"
 	"slimfly/internal/sim"
 )
 
@@ -85,8 +86,8 @@ func TestCacheHitMiss(t *testing.T) {
 	if got.Result != want.Result || got.Job != want.Job {
 		t.Errorf("Get = %+v, want %+v", got, want)
 	}
-	if got.Format != cacheFormat {
-		t.Errorf("stored format %q, want %q", got.Format, cacheFormat)
+	if got.Format != scenario.CacheFormat {
+		t.Errorf("stored format %q, want %q", got.Format, scenario.CacheFormat)
 	}
 	if _, ok := c.Get(testJobWithLoad(0.9).Key()); ok {
 		t.Error("hit for a job never stored")

@@ -4,127 +4,52 @@
 // executed by a sharded, work-stealing worker pool backed by a
 // content-addressed on-disk result cache. Re-running a sweep only executes
 // new or changed points, so an interrupted sweep resumes where it left off.
+//
+// Scenario axes (topologies, algorithms, patterns) are named strings
+// resolved through the internal/scenario registries; a spec accepts
+// exactly the names `sfsim -list` and `sfsweep -list` print.
 package sweep
 
 import (
 	"bytes"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
-)
 
-// cacheFormat versions the job hash: bump it whenever the simulator or the
-// job encoding changes in a result-affecting way, so stale cache entries
-// become unreachable instead of silently wrong.
-const cacheFormat = "slimfly-sweep-v1"
+	"slimfly/internal/scenario"
+)
 
 // TopoSpec names one network to sweep over. Either Kind+N (a roster
 // topology built near N endpoints) or Kind "SF" with an explicit Q (and
 // optionally an oversubscribed concentration P).
-type TopoSpec struct {
-	Kind string `json:"kind"`           // roster kind: SF, DF, FT-3, ...
-	N    int    `json:"n,omitempty"`    // target endpoint count (roster sizing)
-	Q    int    `json:"q,omitempty"`    // exact Slim Fly order (overrides N)
-	P    int    `json:"p,omitempty"`    // SF concentration override (needs Q)
-	Seed uint64 `json:"seed,omitempty"` // construction seed (random topologies)
-}
-
-// String returns a short human-readable label, e.g. "SF/n1000" or "SF/q19p18".
-func (t TopoSpec) String() string {
-	if t.Q > 0 {
-		if t.P > 0 {
-			return fmt.Sprintf("%s/q%dp%d", t.Kind, t.Q, t.P)
-		}
-		return fmt.Sprintf("%s/q%d", t.Kind, t.Q)
-	}
-	return fmt.Sprintf("%s/n%d", t.Kind, t.N)
-}
+type TopoSpec = scenario.TopoSpec
 
 // SimParams are the simulator knobs shared by every job of a sweep. Zero
 // values mean "simulator default" (see sim.Config.withDefaults); they are
 // hashed as written, so an explicit default and an omitted field produce
 // different keys.
-type SimParams struct {
-	Warmup       int `json:"warmup,omitempty"`
-	Measure      int `json:"measure,omitempty"`
-	Drain        int `json:"drain,omitempty"`
-	NumVCs       int `json:"num_vcs,omitempty"`
-	BufPerPort   int `json:"buf_per_port,omitempty"`
-	RouterDelay  int `json:"router_delay,omitempty"`
-	ChannelDelay int `json:"channel_delay,omitempty"`
-	CreditDelay  int `json:"credit_delay,omitempty"`
-	Speedup      int `json:"speedup,omitempty"`
-}
+type SimParams = scenario.SimParams
+
+// Job is one fully resolved simulation point of a sweep: a scenario spec.
+// Job.Key() is the content address used by the result cache.
+type Job = scenario.Spec
 
 // Spec is a declarative sweep: the cross product of its axes, minus
-// incompatible pairs. The fat-tree-only "anca" algorithm is paired only
-// with FT-3 topologies; the table-driven algorithms (min, val, val3,
-// ugal-l, ugal-g) pair with every topology, FT-3 included.
+// incompatible pairs (per the scenario registry's constraints, e.g. the
+// fat-tree-only "anca" algorithm is paired only with FT-3 topologies).
 type Spec struct {
 	Name     string     `json:"name"`
 	Topos    []TopoSpec `json:"topologies"`
-	Algos    []string   `json:"algos"`    // min val val3 ugal-l ugal-g anca
-	Patterns []string   `json:"patterns"` // uniform shuffle bitrev bitcomp shift worstcase
+	Algos    []string   `json:"algos"`    // registered algo names; see scenario.Names
+	Patterns []string   `json:"patterns"` // registered pattern names
 	Loads    []float64  `json:"loads"`
 	Seeds    []uint64   `json:"seeds,omitempty"` // default: [1]
 	Sim      SimParams  `json:"sim,omitempty"`
 }
 
-// Job is one fully resolved simulation point of a sweep.
-type Job struct {
-	Topo    TopoSpec  `json:"topo"`
-	Algo    string    `json:"algo"`
-	Pattern string    `json:"pattern"`
-	Load    float64   `json:"load"`
-	Seed    uint64    `json:"seed"`
-	Sim     SimParams `json:"sim"`
-}
-
-// Label returns the human-readable job identifier used in progress output
-// and result tables.
-func (j Job) Label() string {
-	return fmt.Sprintf("%s %s %s load=%g seed=%d", j.Topo, j.Algo, j.Pattern, j.Load, j.Seed)
-}
-
-// Key returns the job's content address: a stable hex SHA-256 over the
-// cache format version and the canonical JSON encoding of the job. Two
-// processes (or two runs of the same sweep) computing the key for the same
-// configuration always agree, which is what makes the cache resumable.
-func (j Job) Key() string {
-	enc, err := json.Marshal(j)
-	if err != nil {
-		panic(fmt.Sprintf("sweep: job not marshallable: %v", err)) // struct of scalars; cannot fail
-	}
-	h := sha256.New()
-	io.WriteString(h, cacheFormat)
-	h.Write([]byte{'\n'})
-	h.Write(enc)
-	return hex.EncodeToString(h.Sum(nil))
-}
-
-var knownAlgos = map[string]bool{
-	"min": true, "val": true, "val3": true, "ugal-l": true, "ugal-g": true, "anca": true,
-}
-
-var knownPatterns = map[string]bool{
-	"uniform": true, "shuffle": true, "bitrev": true, "bitcomp": true,
-	"shift": true, "worstcase": true,
-}
-
-// sortedNames returns the keys of m in sorted order (for error messages).
-func sortedNames(m map[string]bool) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
-}
-
-// Validate checks the spec for structural errors before expansion.
+// Validate checks the spec for structural errors before expansion. Axis
+// names are checked against the scenario registries, so the error for an
+// unknown name enumerates the valid ones.
 func (s *Spec) Validate() error {
 	if len(s.Topos) == 0 {
 		return fmt.Errorf("sweep: spec %q has no topologies", s.Name)
@@ -136,30 +61,18 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("sweep: spec %q has no loads", s.Name)
 	}
 	for _, t := range s.Topos {
-		if t.Kind == "" {
-			return fmt.Errorf("sweep: topology with empty kind")
-		}
-		if t.N < 0 || t.Q < 0 || t.P < 0 {
-			return fmt.Errorf("sweep: topology %s has a negative size field", t)
-		}
-		if t.Q == 0 && t.N <= 0 {
-			return fmt.Errorf("sweep: topology %s needs n or q", t)
-		}
-		if t.Q > 0 && t.Kind != "SF" {
-			return fmt.Errorf("sweep: topology %s: q is only valid for kind SF", t)
-		}
-		if t.P > 0 && t.Q == 0 {
-			return fmt.Errorf("sweep: topology %s sets p without q", t)
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("sweep: spec %q: %w", s.Name, err)
 		}
 	}
 	for _, a := range s.Algos {
-		if !knownAlgos[a] {
-			return fmt.Errorf("sweep: unknown algo %q (known: %v)", a, sortedNames(knownAlgos))
+		if err := scenario.CheckName(scenario.Algos, a); err != nil {
+			return fmt.Errorf("sweep: spec %q: %w", s.Name, err)
 		}
 	}
 	for _, p := range s.Patterns {
-		if !knownPatterns[p] {
-			return fmt.Errorf("sweep: unknown pattern %q (known: %v)", p, sortedNames(knownPatterns))
+		if err := scenario.CheckName(scenario.Patterns, p); err != nil {
+			return fmt.Errorf("sweep: spec %q: %w", s.Name, err)
 		}
 	}
 	for _, l := range s.Loads {
@@ -170,20 +83,11 @@ func (s *Spec) Validate() error {
 	return nil
 }
 
-// compatible reports whether algorithm a can run on topology t: "anca" is
-// the fat-tree NCA protocol and only pairs with FT-3; the table-driven
-// algorithms run everywhere.
-func compatible(t TopoSpec, a string) bool {
-	if a == "anca" {
-		return t.Kind == "FT-3"
-	}
-	return true
-}
-
 // Expand produces the deterministic job list of the sweep: nested loops
 // over topologies, patterns, algorithms, loads and seeds, in spec order,
-// skipping incompatible topology/algorithm pairs. Two calls on the same
-// spec always yield the same list in the same order.
+// skipping topology/algorithm pairs the scenario registry declares
+// incompatible. Two calls on the same spec always yield the same list in
+// the same order.
 func (s *Spec) Expand() ([]Job, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -200,7 +104,7 @@ func (s *Spec) Expand() ([]Job, error) {
 	for _, t := range s.Topos {
 		for _, p := range patterns {
 			for _, a := range s.Algos {
-				if !compatible(t, a) {
+				if !scenario.Compatible(t, a) {
 					continue
 				}
 				for _, l := range s.Loads {

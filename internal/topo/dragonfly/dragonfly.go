@@ -14,7 +14,9 @@ import (
 	"fmt"
 
 	"slimfly/internal/graph"
+	"slimfly/internal/route"
 	"slimfly/internal/topo"
+	"slimfly/internal/traffic"
 )
 
 // Dragonfly is a balanced Dragonfly network.
@@ -107,4 +109,11 @@ func ForEndpoints(n, maxP int) (p int, ok bool) {
 		}
 	}
 	return 0, false
+}
+
+// WorstCase implements the scenario WorstCaser capability: the Kim et al.
+// adversarial pattern overloading the single global channel between
+// consecutive groups.
+func (df *Dragonfly) WorstCase(_ *route.Tables, _ uint64) traffic.Pattern {
+	return traffic.WorstCaseDF(df.Group, df, df.Gn)
 }

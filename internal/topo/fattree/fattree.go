@@ -19,7 +19,9 @@ import (
 	"fmt"
 
 	"slimfly/internal/graph"
+	"slimfly/internal/route"
 	"slimfly/internal/topo"
+	"slimfly/internal/traffic"
 )
 
 // FatTree is a 3-level p-ary fat tree.
@@ -105,4 +107,10 @@ func ForEndpoints(n int) int {
 			return p
 		}
 	}
+}
+
+// WorstCase implements the scenario WorstCaser capability: the cross-pod
+// permutation forcing every packet through the core level.
+func (ft *FatTree) WorstCase(_ *route.Tables, _ uint64) traffic.Pattern {
+	return traffic.WorstCaseFT(ft.Arity, ft)
 }

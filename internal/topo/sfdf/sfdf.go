@@ -12,8 +12,10 @@ import (
 	"fmt"
 
 	"slimfly/internal/graph"
+	"slimfly/internal/route"
 	"slimfly/internal/topo"
 	"slimfly/internal/topo/slimfly"
+	"slimfly/internal/traffic"
 )
 
 // SFDF is a Dragonfly of Slim Fly groups.
@@ -97,3 +99,10 @@ func MustNew(q, groups, h, p int) *SFDF {
 
 // Group returns the group index of router r.
 func (s *SFDF) Group(r int) int { return r / s.GroupSize }
+
+// WorstCase implements the scenario WorstCaser capability: like the
+// classic Dragonfly, consecutive-group traffic stresses the inter-group
+// channels, though SF groups expose more of them.
+func (s *SFDF) WorstCase(_ *route.Tables, _ uint64) traffic.Pattern {
+	return traffic.WorstCaseDF(s.Group, s, s.Groups)
+}

@@ -24,7 +24,9 @@ import (
 
 	"slimfly/internal/gf"
 	"slimfly/internal/graph"
+	"slimfly/internal/route"
 	"slimfly/internal/topo"
+	"slimfly/internal/traffic"
 )
 
 // SlimFly is the SF MMS topology for a given prime power q.
@@ -287,4 +289,12 @@ func ForRadix(k int) (q int, ok bool) {
 		}
 	}
 	return best, best != 0
+}
+
+// WorstCase implements the scenario WorstCaser capability: the diameter-2
+// adversarial permutation of Section V-C, maximising load on single
+// inter-router links. tb must hold the minimal routing tables of Graph();
+// seed determinises the pairing of leftover endpoints.
+func (s *SlimFly) WorstCase(tb *route.Tables, seed uint64) traffic.Pattern {
+	return traffic.WorstCaseSF(s, tb, seed)
 }

@@ -1,4 +1,4 @@
-package traffic
+package traffic_test
 
 import (
 	"testing"
@@ -8,10 +8,11 @@ import (
 	"slimfly/internal/topo/dragonfly"
 	"slimfly/internal/topo/fattree"
 	"slimfly/internal/topo/slimfly"
+	"slimfly/internal/traffic"
 )
 
 func TestUniform(t *testing.T) {
-	u := Uniform{N: 16}
+	u := traffic.Uniform{N: 16}
 	rng := stats.NewRNG(1)
 	counts := make([]int, 16)
 	for i := 0; i < 16000; i++ {
@@ -35,7 +36,7 @@ func TestUniform(t *testing.T) {
 }
 
 func TestShufflePattern(t *testing.T) {
-	p := Shuffle(16)
+	p := traffic.Shuffle(16)
 	// b = 4 bits: shuffle of 0b0110 (6) = 0b1100 (12).
 	if got := p.Dest(6, nil); got != 12 {
 		t.Errorf("shuffle(6) = %d, want 12", got)
@@ -47,7 +48,7 @@ func TestShufflePattern(t *testing.T) {
 }
 
 func TestBitReversal(t *testing.T) {
-	p := BitReversal(16)
+	p := traffic.BitReversal(16)
 	if got := p.Dest(1, nil); got != 8 { // 0001 -> 1000
 		t.Errorf("bitrev(1) = %d, want 8", got)
 	}
@@ -57,7 +58,7 @@ func TestBitReversal(t *testing.T) {
 }
 
 func TestBitComplement(t *testing.T) {
-	p := BitComplement(16)
+	p := traffic.BitComplement(16)
 	if got := p.Dest(0, nil); got != 15 {
 		t.Errorf("bitcomp(0) = %d, want 15", got)
 	}
@@ -68,7 +69,7 @@ func TestBitComplement(t *testing.T) {
 
 func TestPermutationInactiveEndpoints(t *testing.T) {
 	// N = 20 -> 16 active, 4 inactive.
-	p := BitReversal(20)
+	p := traffic.BitReversal(20)
 	for s := 16; s < 20; s++ {
 		if p.Dest(s, nil) != -1 {
 			t.Errorf("endpoint %d should be inactive", s)
@@ -86,7 +87,7 @@ func TestPermutationInactiveEndpoints(t *testing.T) {
 }
 
 func TestShift(t *testing.T) {
-	sh := Shift{N: 64}
+	sh := traffic.Shift{N: 64}
 	rng := stats.NewRNG(2)
 	// The paper's two options for source s are (s mod N/2) and
 	// (s mod N/2) + N/2; one of them is always s itself, so with
@@ -108,8 +109,8 @@ func TestShift(t *testing.T) {
 func TestWorstCaseSF(t *testing.T) {
 	sf := slimfly.MustNew(5)
 	tb := route.Build(sf.Graph())
-	p := WorstCaseSF(sf, tb, 3)
-	if err := Validate(p); err != nil {
+	p := traffic.WorstCaseSF(sf, tb, 3)
+	if err := traffic.Validate(p); err != nil {
 		t.Fatal(err)
 	}
 	// The pattern must concentrate many length-2 routes over single links:
@@ -148,8 +149,8 @@ func TestWorstCaseSF(t *testing.T) {
 
 func TestWorstCaseDF(t *testing.T) {
 	df := dragonfly.MustNew(2)
-	p := WorstCaseDF(df.Group, df, df.Gn)
-	if err := Validate(p); err != nil {
+	p := traffic.WorstCaseDF(df.Group, df, df.Gn)
+	if err := traffic.Validate(p); err != nil {
 		t.Fatal(err)
 	}
 	// Every flow crosses into the next group.
@@ -164,8 +165,8 @@ func TestWorstCaseDF(t *testing.T) {
 
 func TestWorstCaseFT(t *testing.T) {
 	ft := fattree.MustNew(4)
-	p := WorstCaseFT(ft.Arity, ft)
-	if err := Validate(p); err != nil {
+	p := traffic.WorstCaseFT(ft.Arity, ft)
+	if err := traffic.Validate(p); err != nil {
 		t.Fatal(err)
 	}
 	perPod := ft.Endpoints() / ft.Arity
@@ -177,12 +178,12 @@ func TestWorstCaseFT(t *testing.T) {
 }
 
 func TestValidateCatchesDuplicates(t *testing.T) {
-	p := &Permutation{PatternName: "bad", Dests: []int32{1, 1, -1}}
-	if Validate(p) == nil {
+	p := &traffic.Permutation{PatternName: "bad", Dests: []int32{1, 1, -1}}
+	if traffic.Validate(p) == nil {
 		t.Error("duplicate destination not caught")
 	}
-	p2 := &Permutation{PatternName: "self", Dests: []int32{0}}
-	if Validate(p2) == nil {
+	p2 := &traffic.Permutation{PatternName: "self", Dests: []int32{0}}
+	if traffic.Validate(p2) == nil {
 		t.Error("self-loop not caught")
 	}
 }
