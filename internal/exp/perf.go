@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 
-	"slimfly/internal/roster"
 	"slimfly/internal/route"
 	"slimfly/internal/scenario"
 	"slimfly/internal/sim"
@@ -61,15 +60,30 @@ type perfNetworks struct {
 	ftTb *route.Tables
 }
 
+// perfEnv memoises topology construction and routing-table builds (which
+// include the port-indexed tables the simulator hot path runs on) across
+// the whole experiment suite: Fig6a-d, Fig8a/8b-e and the benches resolve
+// their networks through this one scenario.Env, so each network at a given
+// scale and seed is built exactly once per process no matter how many
+// figures, loads or seeds consume it.
+var perfEnv = scenario.NewEnv()
+
+// mustTopo resolves a topology spec through the shared memoised Env.
+func mustTopo(spec scenario.TopoSpec) (topo.Topology, *route.Tables) {
+	tp, tb, err := perfEnv.Topo(spec)
+	if err != nil {
+		panic(err)
+	}
+	return tp, tb
+}
+
 func buildPerfNetworks(sc PerfScale, seed uint64) perfNetworks {
-	sf := roster.MustNear(roster.SF, sc.TargetN, seed).(*slimfly.SlimFly)
-	df := roster.MustNear(roster.DF, sc.TargetN, seed)
-	ft := roster.MustNear(roster.FT3, sc.TargetN, seed).(*fattree.FatTree)
+	sfT, sfTb := mustTopo(scenario.TopoSpec{Kind: "SF", N: sc.TargetN, Seed: seed})
+	dfT, dfTb := mustTopo(scenario.TopoSpec{Kind: "DF", N: sc.TargetN, Seed: seed})
+	ftT, ftTb := mustTopo(scenario.TopoSpec{Kind: "FT-3", N: sc.TargetN, Seed: seed})
 	return perfNetworks{
-		sf: sf, df: df, ft: ft,
-		sfTb: route.Build(sf.Graph()),
-		dfTb: route.Build(df.Graph()),
-		ftTb: route.Build(ft.Graph()),
+		sf: sfT.(*slimfly.SlimFly), df: dfT, ft: ftT.(*fattree.FatTree),
+		sfTb: sfTb, dfTb: dfTb, ftTb: ftTb,
 	}
 }
 
@@ -193,8 +207,8 @@ func Fig6(pattern string, sc PerfScale, seed uint64) *Table {
 // Fig8a reproduces Figure 8a: the influence of input buffer size (8..256
 // flits per port) on worst-case traffic latency, SF with UGAL-L.
 func Fig8a(sc PerfScale, seed uint64) *Table {
-	sf := roster.MustNear(roster.SF, sc.TargetN, seed).(*slimfly.SlimFly)
-	tb := route.Build(sf.Graph())
+	sfT, tb := mustTopo(scenario.TopoSpec{Kind: "SF", N: sc.TargetN, Seed: seed})
+	sf := sfT.(*slimfly.SlimFly)
 	wc := sf.WorstCase(tb, seed)
 	t := &Table{
 		Title:   fmt.Sprintf("Figure 8a: buffer-size study (worst-case traffic, SF N=%d, UGAL-L)", sf.Endpoints()),
@@ -226,7 +240,8 @@ func Fig8a(sc PerfScale, seed uint64) *Table {
 // p = 18 on the chosen q) under uniform and worst-case traffic, all four
 // routing protocols.
 func Fig8be(sc PerfScale, seed uint64) *Table {
-	base := roster.MustNear(roster.SF, sc.TargetN, seed).(*slimfly.SlimFly)
+	baseT, _ := mustTopo(scenario.TopoSpec{Kind: "SF", N: sc.TargetN, Seed: seed})
+	base := baseT.(*slimfly.SlimFly)
 	q := base.Q
 	balanced := base.Concentration()
 	t := &Table{
@@ -246,11 +261,8 @@ func Fig8be(sc PerfScale, seed uint64) *Table {
 	var pts []point
 	var cfgs []sim.Config
 	for _, p := range overs {
-		sf, err := slimfly.NewWithConcentration(q, p)
-		if err != nil {
-			panic(err)
-		}
-		tb := route.Build(sf.Graph())
+		sfT, tb := mustTopo(scenario.TopoSpec{Kind: "SF", Q: q, P: p})
+		sf := sfT.(*slimfly.SlimFly)
 		for _, pat := range []string{"uniform", "worstcase"} {
 			var pattern traffic.Pattern = traffic.Uniform{N: sf.Endpoints()}
 			loads := []float64{0.2, 0.4, 0.6, 0.8}

@@ -5,6 +5,14 @@ package scenario
 // and the experiment suite at once. Kinds restricts an algorithm to the
 // topology kinds it can run on; building it elsewhere yields an
 // *IncompatibleError.
+//
+// Algorithms implement the port-indexed sim.Algo contract: TargetPort
+// answers with an output-port index taken from the precomputed routing
+// tables (sim.PortToward / route.Tables.NextPort), never a router id.
+// Implementations whose per-router decision is a pure table lookup should
+// also declare StaticPorts() true so the engine may cache decisions per
+// queue head; see the README's "Engine architecture" section for the full
+// add-an-algorithm recipe.
 
 import (
 	"slimfly/internal/sim"

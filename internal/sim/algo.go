@@ -3,13 +3,22 @@ package sim
 import "slimfly/internal/topo/fattree"
 
 // Algo is a routing algorithm. OnInject runs once per packet at its source
-// router (where UGAL makes its path decision); Target returns the next
-// router for a packet currently at router r (never r itself: ejection is
-// handled by the engine when r is the destination router).
+// router (where UGAL makes its path decision); TargetPort returns the
+// output-port index (into the router's sorted neighbour list) a packet
+// currently buffered at router r should take next. It is never asked about
+// ejection: the engine delivers locally when r is the destination router.
+//
+// The port-indexed contract exists for the hot path: the engine consults
+// TargetPort once per buffered head flit per cycle, and a port index feeds
+// the switch allocator directly. Algorithms answer from the precomputed
+// route.Tables port tables (via Sim.PortToward), so no routing decision
+// ever searches an adjacency list. Returning a port outside [0, degree)
+// is a contract violation and makes the engine panic with a diagnostic
+// naming the algorithm and packet (see Sim.badTargetPort).
 type Algo interface {
 	Name() string
 	OnInject(s *Sim, p *Packet)
-	Target(s *Sim, p *Packet, r int32) int32
+	TargetPort(s *Sim, p *Packet, r int32) int32
 	// NeededVCs returns the virtual channels required for deadlock
 	// freedom under the hop-indexed scheme of Section IV-D, given the
 	// network diameter: the maximum path length this algorithm produces.
@@ -28,22 +37,27 @@ func (MIN) OnInject(*Sim, *Packet) {}
 // NeededVCs implements Algo: minimal paths never exceed the diameter.
 func (MIN) NeededVCs(diameter int) int { return diameter }
 
-// Target implements Algo.
-func (MIN) Target(s *Sim, p *Packet, r int32) int32 {
-	return s.Tables().NextHop(int(r), int(p.DstRouter))
+// StaticPorts marks MIN's TargetPort as a pure table lookup: the engine
+// may memoise the answer per (packet, router) and skip re-evaluating
+// blocked heads.
+func (MIN) StaticPorts() bool { return true }
+
+// TargetPort implements Algo.
+func (MIN) TargetPort(s *Sim, p *Packet, r int32) int32 {
+	return s.PortToward(r, p.DstRouter)
 }
 
-// valTarget routes via the packet's intermediate router, switching to
+// valTargetPort routes via the packet's intermediate router, switching to
 // phase 1 on arrival there. Shared by VAL and the UGAL variants.
-func valTarget(s *Sim, p *Packet, r int32) int32 {
+func valTargetPort(s *Sim, p *Packet, r int32) int32 {
 	if p.Phase == 0 {
 		if r == p.Interm {
 			p.Phase = 1
 		} else {
-			return s.Tables().NextHop(int(r), int(p.Interm))
+			return s.PortToward(r, p.Interm)
 		}
 	}
-	return s.Tables().NextHop(int(r), int(p.DstRouter))
+	return s.PortToward(r, p.DstRouter)
 }
 
 // pickIntermediate draws a random router different from both src and dst.
@@ -79,8 +93,13 @@ func (VAL) OnInject(s *Sim, p *Packet) {
 // NeededVCs implements Algo: Valiant paths are two minimal segments.
 func (VAL) NeededVCs(diameter int) int { return 2 * diameter }
 
-// Target implements Algo.
-func (VAL) Target(s *Sim, p *Packet, r int32) int32 { return valTarget(s, p, r) }
+// StaticPorts implements the engine's memoisation contract: the path is
+// committed at injection, so per-router decisions are pure table lookups
+// (the phase flip at the intermediate is idempotent).
+func (VAL) StaticPorts() bool { return true }
+
+// TargetPort implements Algo.
+func (VAL) TargetPort(s *Sim, p *Packet, r int32) int32 { return valTargetPort(s, p, r) }
 
 // ugalThreshold is the bias toward the minimal path: a non-minimal path is
 // taken only when its cost undercuts the minimal cost by more than this
@@ -128,8 +147,11 @@ func (VAL3) OnInject(s *Sim, p *Packet) {
 // unconstrained intermediates when no short one is found.
 func (VAL3) NeededVCs(diameter int) int { return 2 * diameter }
 
-// Target implements Algo.
-func (VAL3) Target(s *Sim, p *Packet, r int32) int32 { return valTarget(s, p, r) }
+// StaticPorts implements the engine's memoisation contract (see VAL).
+func (VAL3) StaticPorts() bool { return true }
+
+// TargetPort implements Algo.
+func (VAL3) TargetPort(s *Sim, p *Packet, r int32) int32 { return valTargetPort(s, p, r) }
 
 // UGALL is UGAL-L (Section IV-C2): at injection it compares the minimal
 // path against Candidates random Valiant paths, weighting each path's hop
@@ -155,17 +177,15 @@ func (u UGALL) OnInject(s *Sim, p *Packet) {
 		return
 	}
 	minLen := tb.Distance(int(src), int(p.DstRouter))
-	minNext := tb.NextHop(int(src), int(p.DstRouter))
-	minPort := s.NetPortToward(src, minNext)
-	minCost := minLen * s.QueueEstimate(src, minPort)
+	minPort := s.PortToward(src, p.DstRouter)
+	minCost := minLen * s.QueueEstimate(src, int(minPort))
 	bestCost := -1
 	bestInterm := int32(-1)
 	for i := 0; i < cands; i++ {
 		interm := pickIntermediate(s, src, p.DstRouter)
 		vlen := tb.ValiantLen(int(src), int(interm), int(p.DstRouter))
-		next := tb.NextHop(int(src), int(interm))
-		port := s.NetPortToward(src, next)
-		cost := vlen * s.QueueEstimate(src, port)
+		port := s.PortToward(src, interm)
+		cost := vlen * s.QueueEstimate(src, int(port))
 		if bestCost < 0 || cost < bestCost {
 			bestCost = cost
 			bestInterm = interm
@@ -182,12 +202,17 @@ func (u UGALL) OnInject(s *Sim, p *Packet) {
 // NeededVCs implements Algo: UGAL may commit to any Valiant path.
 func (UGALL) NeededVCs(diameter int) int { return 2 * diameter }
 
-// Target implements Algo.
-func (UGALL) Target(s *Sim, p *Packet, r int32) int32 {
+// StaticPorts implements the engine's memoisation contract: UGAL's
+// adaptivity is spent entirely at injection; in-flight decisions are
+// table lookups along the committed path.
+func (UGALL) StaticPorts() bool { return true }
+
+// TargetPort implements Algo.
+func (UGALL) TargetPort(s *Sim, p *Packet, r int32) int32 {
 	if p.Interm < 0 {
-		return s.Tables().NextHop(int(r), int(p.DstRouter))
+		return s.PortToward(r, p.DstRouter)
 	}
-	return valTarget(s, p, r)
+	return valTargetPort(s, p, r)
 }
 
 // UGALG is UGAL-G (Section IV-C1): like UGAL-L but with global knowledge,
@@ -200,15 +225,15 @@ type UGALG struct {
 func (UGALG) Name() string { return "UGAL-G" }
 
 // pathCost walks the minimal route from a to b, accumulating every hop's
-// output queue estimate (global information).
+// output queue estimate (global information). The walk is two table loads
+// per hop: the port toward b, then the neighbour behind that port.
 func pathCost(s *Sim, a, b int32) int {
-	tb := s.Tables()
 	cost := 0
 	cur := a
 	for cur != b {
-		next := tb.NextHop(int(cur), int(b))
-		cost += s.QueueEstimate(cur, s.NetPortToward(cur, next)) + 1
-		cur = next
+		port := s.PortToward(cur, b)
+		cost += s.QueueEstimate(cur, int(port)) + 1
+		cur = s.PortNeighbor(cur, port)
 	}
 	return cost
 }
@@ -246,18 +271,23 @@ func (u UGALG) OnInject(s *Sim, p *Packet) {
 // NeededVCs implements Algo.
 func (UGALG) NeededVCs(diameter int) int { return 2 * diameter }
 
-// Target implements Algo.
-func (UGALG) Target(s *Sim, p *Packet, r int32) int32 {
+// StaticPorts implements the engine's memoisation contract (see UGALL).
+func (UGALG) StaticPorts() bool { return true }
+
+// TargetPort implements Algo.
+func (UGALG) TargetPort(s *Sim, p *Packet, r int32) int32 {
 	if p.Interm < 0 {
-		return s.Tables().NextHop(int(r), int(p.DstRouter))
+		return s.PortToward(r, p.DstRouter)
 	}
-	return valTarget(s, p, r)
+	return valTargetPort(s, p, r)
 }
 
 // FTANCA is the Adaptive Nearest Common Ancestor protocol for the 3-level
 // fat tree (Section V, after Gomez et al.): packets climb adaptively
 // (least-loaded up port) until they reach an ancestor of the destination,
-// then descend deterministically.
+// then descend deterministically. Router-id candidates are translated to
+// ports via PortToward, which is exact for neighbours (minimal tables route
+// adjacent pairs directly).
 type FTANCA struct {
 	FT *fattree.FatTree
 }
@@ -280,8 +310,8 @@ func (FTANCA) NeededVCs(int) int { return 4 }
 // throughput on uniform traffic).
 func (FTANCA) SpreadVCs() bool { return true }
 
-// Target implements Algo.
-func (a FTANCA) Target(s *Sim, p *Packet, r int32) int32 {
+// TargetPort implements Algo.
+func (a FTANCA) TargetPort(s *Sim, p *Packet, r int32) int32 {
 	ft := a.FT
 	ar := ft.Arity
 	dEdge := int(p.DstRouter) // destination edge switch: id in [0, p^2)
@@ -294,29 +324,29 @@ func (a FTANCA) Target(s *Sim, p *Packet, r int32) int32 {
 		aa := (int(r) - ar*ar) / ar
 		j := (int(r) - ar*ar) % ar
 		if aa == da {
-			return int32(da*ar + db) // descend into the destination edge
+			return s.PortToward(r, int32(da*ar+db)) // descend into the destination edge
 		}
 		// Climb to a core switch in our column j.
 		return a.bestUp(s, r, func(i int) int32 { return int32(2*ar*ar + i*ar + j) })
 	default: // core switch: descend to the destination pod's agg in our column
 		j := (int(r) - 2*ar*ar) % ar
-		return int32(ar*ar + da*ar + j)
+		return s.PortToward(r, int32(ar*ar+da*ar+j))
 	}
 }
 
-// bestUp returns an up-neighbour (candidates generated by gen for indices
-// 0..arity-1) drawn uniformly from the ports whose queue estimate is
-// within one flit of the minimum. Choosing the strict argmin would herd
-// every head of a cycle onto a single port (one estimate is almost always
-// strictly lowest), serialising the switch; the +1 tolerance window keeps
-// the adaptivity while spreading simultaneous decisions, emulating the
-// per-packet port arbitration of a hardware allocator.
+// bestUp returns the port toward an up-neighbour (candidates generated by
+// gen for indices 0..arity-1) drawn uniformly from the ports whose queue
+// estimate is within one flit of the minimum. Choosing the strict argmin
+// would herd every head of a cycle onto a single port (one estimate is
+// almost always strictly lowest), serialising the switch; the +1 tolerance
+// window keeps the adaptivity while spreading simultaneous decisions,
+// emulating the per-packet port arbitration of a hardware allocator.
 func (a FTANCA) bestUp(s *Sim, r int32, gen func(i int) int32) int32 {
 	arity := a.FT.Arity
 	var ests [64]int
 	minQ := 1 << 30
 	for i := 0; i < arity; i++ {
-		q := s.QueueEstimate(r, s.NetPortToward(r, gen(i)))
+		q := s.QueueEstimate(r, int(s.PortToward(r, gen(i))))
 		ests[i] = q
 		if q < minQ {
 			minQ = q
@@ -332,10 +362,10 @@ func (a FTANCA) bestUp(s *Sim, r int32, gen func(i int) int32) int32 {
 	for i := 0; i < arity; i++ {
 		if ests[i] <= minQ+1 {
 			if pick == 0 {
-				return gen(i)
+				return s.PortToward(r, gen(i))
 			}
 			pick--
 		}
 	}
-	return gen(0) // unreachable
+	return s.PortToward(r, gen(0)) // unreachable
 }

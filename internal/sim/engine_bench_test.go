@@ -1,0 +1,67 @@
+package sim
+
+import (
+	"testing"
+
+	"slimfly/internal/route"
+	"slimfly/internal/topo/slimfly"
+	"slimfly/internal/traffic"
+)
+
+// newSteadySim builds a SlimFly simulation at 70% uniform load and
+// advances it past warm-up so the network is in steady state: queues
+// populated, wheel slots and staging buffers at their working sizes.
+func newSteadySim(tb testing.TB, q, warm int, algo Algo) *Sim {
+	sf := slimfly.MustNew(q)
+	rt := route.Build(sf.Graph())
+	s, err := New(Config{
+		Topo: sf, Tables: rt, Algo: algo, Pattern: traffic.Uniform{N: sf.Endpoints()},
+		Load: 0.7, Warmup: 1, Measure: 1, Seed: 17,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for i := 0; i < warm; i++ {
+		s.step(true)
+		s.cycle++
+	}
+	return s
+}
+
+// BenchmarkEngineStep measures the steady-state cost of one simulated
+// cycle on a SlimFly q=17 network (578 routers, ~5200 endpoints) at load
+// 0.7 — the sweep engine's unit of work — under minimal routing and under
+// the paper's headline adaptive scheme. Run with -benchmem: the
+// steady-state loop must report 0 allocs/op (see TestStepZeroAlloc).
+func BenchmarkEngineStep(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		algo Algo
+	}{{"MIN", MIN{}}, {"UGAL-L", UGALL{}}} {
+		b.Run(c.name, func(b *testing.B) {
+			s := newSteadySim(b, 17, 2000, c.algo)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.step(true)
+				s.cycle++
+			}
+		})
+	}
+}
+
+// TestStepZeroAlloc asserts the engine's zero-allocation contract: once a
+// simulation reaches steady state, step() must not touch the heap at all
+// — the allocation scratch, event-wheel rings and queue buffers are all
+// preallocated at construction and reused every cycle. Any regression
+// (a fresh slice in the allocator, a growing wheel slot) fails this test
+// before it shows up as GC pressure in sweeps.
+func TestStepZeroAlloc(t *testing.T) {
+	s := newSteadySim(t, 9, 2000, MIN{})
+	allocs := testing.AllocsPerRun(1000, func() {
+		s.step(true)
+		s.cycle++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state step allocates: %v allocs/op, want 0", allocs)
+	}
+}

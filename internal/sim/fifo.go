@@ -1,21 +1,27 @@
 package sim
 
 // Packet is a single-flit packet (the paper uses single-flit packets to
-// isolate routing behaviour from flow control, Section V).
+// isolate routing behaviour from flow control, Section V). It is copied on
+// every hop, so it is kept compact: cycle stamps are int32 (2^31 cycles is
+// far beyond any simulation window in the study).
 type Packet struct {
 	Src, Dst  int32 // endpoint ids
 	DstRouter int32
 	Interm    int32 // Valiant intermediate router (-1 = minimal)
-	Birth     int64 // injection cycle
-	ReadyAt   int64 // cycle at which the head flit may arbitrate
+	Birth     int32 // injection cycle
+	ReadyAt   int32 // cycle at which the head flit may arbitrate
 	Hops      int8  // network hops taken so far
 	VC        int8  // VC occupied at the current input
 	Phase     int8  // 0 = toward Interm, 1 = toward DstRouter
 	Measured  bool
 }
 
-// fifo is a ring-buffer packet queue. A capacity of 0 makes it unbounded
-// (used for injection queues, which model the endpoint's source queue).
+// fifo is a ring-buffer packet queue. Bounded fifos own a fixed window of
+// their router's contiguous backing array; capacity overflow is impossible
+// by credit accounting, so push does not check. A capacity of 0 makes the
+// fifo unbounded (used for injection queues, which model the endpoint's
+// source queue). Keeping packets in the ring (rather than behind another
+// indirection) means successive heads of one queue share cache lines.
 type fifo struct {
 	buf     []Packet
 	head    int // index of the first element
@@ -23,49 +29,47 @@ type fifo struct {
 	bounded bool
 }
 
-func newFifo(capacity int) fifo {
-	if capacity <= 0 {
-		return fifo{}
-	}
-	return fifo{buf: make([]Packet, capacity), bounded: true}
-}
-
 func (f *fifo) empty() bool { return f.n == 0 }
-func (f *fifo) size() int   { return f.n }
 
-func (f *fifo) full() bool { return f.bounded && f.n == len(f.buf) }
-
-// push appends p; it reports false if a bounded queue is full.
-func (f *fifo) push(p Packet) bool {
-	if f.bounded {
-		if f.n == len(f.buf) {
-			return false
-		}
-		f.buf[(f.head+f.n)%len(f.buf)] = p
-		f.n++
-		return true
+// push appends p to a bounded ring; the caller holds a credit for the
+// slot, so overflow is impossible. Unbounded (injection) queues grow via
+// pushTail instead — their only entry point.
+func (f *fifo) push(p Packet) {
+	i := f.head + f.n
+	if i >= len(f.buf) {
+		i -= len(f.buf)
 	}
-	// Unbounded: compact the consumed prefix before growing.
-	if f.head+f.n == len(f.buf) && f.head > len(f.buf)/2 {
-		copy(f.buf, f.buf[f.head:])
-		f.buf = f.buf[:f.n]
-		f.head = 0
-	}
-	f.buf = append(f.buf[:f.head+f.n], p)
+	f.buf[i] = p
 	f.n++
-	return true
 }
 
 // peek returns the head packet, which must exist. Routing algorithms may
 // mutate it in place (e.g. Valiant phase switches).
 func (f *fifo) peek() *Packet { return &f.buf[f.head] }
 
+// pushTail appends a zeroed slot to an unbounded queue and returns a
+// pointer to it, valid until the next queue operation. The injection path
+// uses it to construct packets in place instead of copying them in.
+func (f *fifo) pushTail() *Packet {
+	if f.head+f.n == len(f.buf) && f.head > len(f.buf)/2 {
+		copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:f.n]
+		f.head = 0
+	}
+	f.buf = append(f.buf[:f.head+f.n], Packet{})
+	f.n++
+	return &f.buf[f.head+f.n-1]
+}
+
 // pop removes and returns the head packet, which must exist.
 func (f *fifo) pop() Packet {
 	p := f.buf[f.head]
 	f.n--
 	if f.bounded {
-		f.head = (f.head + 1) % len(f.buf)
+		f.head++
+		if f.head == len(f.buf) {
+			f.head = 0
+		}
 		return p
 	}
 	f.head++

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+
+	"slimfly/internal/route"
+	"slimfly/internal/topo"
+	"slimfly/internal/topo/fattree"
+	"slimfly/internal/topo/slimfly"
+	"slimfly/internal/traffic"
+)
+
+// TestGoldenResults pins exact fixed-seed results for every routing
+// algorithm of the study. Same seed => bit-identical Result is the
+// engine's determinism contract and the safety net for hot-path
+// refactors: any change to RNG consumption order, arbitration order or
+// routing decisions shows up here as a drifted field.
+//
+// The five table-driven algorithms run on the SlimFly q=5 network; ANCA
+// is fat-tree-only and runs on FT-3 arity 6. Values were recorded from
+// the pre-port-indexed engine (PR 3) and must never change silently.
+func TestGoldenResults(t *testing.T) {
+	sf := slimfly.MustNew(5)
+	sfTb := route.Build(sf.Graph())
+	ft := fattree.MustNew(6)
+	ftTb := route.Build(ft.Graph())
+
+	cases := []struct {
+		name string
+		tp   topo.Topology
+		tb   *route.Tables
+		algo Algo
+		want Result
+	}{
+		{name: "MIN", tp: sf, tb: sfTb, algo: MIN{}, want: Result{
+			AvgLatency: 7.0977778703375884, MaxLatency: 17, AvgHops: 1.8260824291396798,
+			Injected: 48017, Delivered: 48017, Accepted: 0.29993749999999997,
+			OfferedLoad: 0.3, ActiveEnds: 200, TotalCycles: 1111,
+		}},
+		{name: "VAL", tp: sf, tb: sfTb, algo: VAL{}, want: Result{
+			AvgLatency: 15.514846743295019, MaxLatency: 51, AvgHops: 3.6289771780776277,
+			Injected: 48024, Delivered: 48024, Accepted: 0.30031874999999997,
+			OfferedLoad: 0.3, ActiveEnds: 200, TotalCycles: 1122,
+		}},
+		{name: "VAL3", tp: sf, tb: sfTb, algo: VAL3{}, want: Result{
+			AvgLatency: 10.712825007303534, MaxLatency: 27, AvgHops: 2.74625432995284,
+			Injected: 47922, Delivered: 47922, Accepted: 0.29973125,
+			OfferedLoad: 0.3, ActiveEnds: 200, TotalCycles: 1117,
+		}},
+		{name: "UGAL-L", tp: sf, tb: sfTb, algo: UGALL{}, want: Result{
+			AvgLatency: 8.547750641333138, MaxLatency: 23, AvgHops: 2.214653680105116,
+			Injected: 47947, Delivered: 47947, Accepted: 0.29976875,
+			OfferedLoad: 0.3, ActiveEnds: 200, TotalCycles: 1115,
+		}},
+		{name: "UGAL-G", tp: sf, tb: sfTb, algo: UGALG{}, want: Result{
+			AvgLatency: 7.1799695497111395, MaxLatency: 20, AvgHops: 1.8484785283750809,
+			Injected: 47947, Delivered: 47947, Accepted: 0.299725,
+			OfferedLoad: 0.3, ActiveEnds: 200, TotalCycles: 1110,
+		}},
+		{name: "ANCA", tp: ft, tb: ftTb, algo: FTANCA{FT: ft}, want: Result{
+			AvgLatency: 12.67191166852614, MaxLatency: 22, AvgHops: 3.6295156388258376,
+			Injected: 51986, Delivered: 51986, Accepted: 0.30059027777777775,
+			OfferedLoad: 0.3, ActiveEnds: 216, TotalCycles: 1116,
+		}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			pat := traffic.Uniform{N: c.tp.Endpoints()}
+			s, err := New(Config{
+				Topo: c.tp, Tables: c.tb, Algo: c.algo, Pattern: pat,
+				Load: 0.3, Warmup: 300, Measure: 800, Drain: 8000,
+				Seed: 12345,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := s.Run()
+			if got != c.want {
+				t.Errorf("fixed-seed result drifted:\n got  %#v\n want %#v", got, c.want)
+			}
+		})
+	}
+}

@@ -53,7 +53,7 @@ func (s *Sim) RunDetailed() DetailedResult {
 	s.collect = true
 	s.chanFlits = make([][]int64, len(s.routers))
 	for r := range s.routers {
-		s.chanFlits[r] = make([]int64, len(s.routers[r].outQ))
+		s.chanFlits[r] = make([]int64, len(s.routers[r].outStaged))
 	}
 	base := s.Run()
 	d := DetailedResult{Result: base}

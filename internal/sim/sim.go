@@ -5,11 +5,25 @@
 // credit processing, 1-cycle channel/switch-allocation/VC-allocation
 // stages, internal crossbar speedup of 2 over the channel rate, and a
 // configurable total buffering per port (64 flits by default).
+//
+// The engine is port-indexed and allocation-free in steady state: routing
+// algorithms answer with output-port indices straight from the precomputed
+// route.Tables port table, switch allocation runs on per-sim scratch
+// buffers reused every cycle and walks per-router occupancy bitmasks so
+// empty queues cost nothing, the credit event wheel is a fixed-capacity
+// ring sized at construction, granted flits are delivered straight into
+// the downstream input queue with a ReadyAt stamp encoding staging
+// serialisation plus channel and pipeline delays (link traversal is pure
+// counter bookkeeping), and an active-router worklist limits allocation
+// and traversal to routers that actually hold flits. TestStepZeroAlloc
+// pins the zero-allocation property; TestGoldenResults pins bit-identical
+// fixed-seed results.
 package sim
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
+	"slices"
 
 	"slimfly/internal/route"
 	"slimfly/internal/stats"
@@ -92,27 +106,46 @@ type Result struct {
 }
 
 type router struct {
-	nbr     []int32 // sorted neighbour router ids; network port i <-> nbr[i]
-	revPort []int32 // our port index on nbr[i]'s side
-	eps     []int32 // endpoint ids attached here
-	inQ     []fifo  // [(port)*(numVCs) + vc]; ports: deg network, then len(eps) injection
-	credits []int16 // [outPort*numVCs + vc] for network outputs
-	outQ    []fifo  // [outPort] staging queues (network outputs only)
-	rr      []int32 // round-robin arbitration pointer per output (network + eject)
-	flits   int     // buffered flits (skip idle routers quickly)
+	nbr     []int32  // sorted neighbour router ids; network port i <-> nbr[i]
+	revPort []int32  // our port index on nbr[i]'s side
+	eps     []int32  // endpoint ids attached here
+	inQ     []fifo   // [(port)*(numVCs) + vc]; ports: deg network, then len(eps) injection
+	occ     []uint64 // occupancy bitmask over inQ: bit q set iff inQ[q] is non-empty
+	// Head cache, maintained by setHead whenever a queue's head changes:
+	// headState[q] packs the head packet's ReadyAt (low 32 bits) with its
+	// routing decision (high 32: ejection port, or -- static algorithms
+	// only -- the TargetPort answer). The allocator's request scan reads
+	// this one compact array instead of touching a scattered packet
+	// cacheline per non-empty queue per cycle.
+	headState []int64
+	credits   []int16 // [outPort*numVCs + vc] for network outputs
+	// outStaged[outPort] counts flits granted to the output but not yet
+	// departed onto the link (the old per-output staging fifo, reduced to
+	// a counter: the packets themselves are delivered downstream at grant
+	// time with a ReadyAt stamp that encodes their serialised departure,
+	// so staging needs no second and third packet copy).
+	outStaged []int16
+	rr        []int32 // round-robin arbitration pointer per output (network + eject)
+	flits     int     // buffered flits in input queues
+	staged    int     // flits in output staging awaiting link departure (sum of outStaged)
 }
 
-type arrival struct {
-	router int32
-	port   int32
-	pkt    Packet
-}
+// markOcc records that input queue q became non-empty.
+func (rt *router) markOcc(q int) { rt.occ[q>>6] |= 1 << (uint(q) & 63) }
+
+// clearOcc records that input queue q drained empty.
+func (rt *router) clearOcc(q int) { rt.occ[q>>6] &^= 1 << (uint(q) & 63) }
 
 type creditEvt struct {
 	router int32
 	port   int32
 	vc     int8
 }
+
+// injQueueCap is the initial capacity of the (unbounded) injection source
+// queues: generous enough that sub-saturation backlogs never regrow the
+// backing array once steady state is reached.
+const injQueueCap = 64
 
 // Sim is a single-threaded deterministic simulator instance.
 type Sim struct {
@@ -123,9 +156,43 @@ type Sim struct {
 	epIdx     []int32 // endpoint -> index within its router's endpoint list
 	bufPerVC  int
 	spreadVCs bool // free VC selection (acyclic routing only)
+	// staticPorts: the algorithm's TargetPort is a pure function of
+	// (packet, router) -- no RNG, no queue state -- so the engine may
+	// evaluate it once per revealed queue head (setHead) and serve the
+	// allocator scan from the per-router head cache.
+	staticPorts bool
 
-	// Event wheels indexed by cycle modulo their length.
-	arrWheel  [][]arrival
+	// Port-indexed routing state, cached flat from cfg.Tables: the port at
+	// router u toward destination router d is nextPort[u*nRouters+d]
+	// (source-major, so one router's decisions share cache lines).
+	nextPort []int32
+	nRouters int
+
+	// Active-router worklist: routers holding buffered or staged flits.
+	// Rebuilt incrementally (arrivals/injections add, idle routers drop
+	// out after link traversal) and sorted ascending each cycle so the
+	// allocation order -- and hence RNG consumption -- matches a full
+	// ascending scan exactly.
+	active   []int32
+	inActive []bool
+
+	// Switch-allocation scratch, sized once to the widest router and
+	// reused every cycle (allocation-free steady state). Requests are
+	// bucketed by output with a stable counting sort: scrQ/scrOut hold
+	// the first-pass (queue, output) pairs, scrCnt/scrOff the per-output
+	// counts and offsets, scrBkt the queue indices grouped by output.
+	scrQ   []int32
+	scrOut []int32
+	scrCnt []int32
+	scrOff []int32
+	scrBkt []int32
+
+	// Credit event wheel indexed by cycle modulo its length. Slot capacity
+	// is fixed at construction to the per-cycle event bound, so
+	// steady-state appends never grow the backing arrays. (Flit arrivals
+	// need no wheel: link traversal pushes the packet straight into the
+	// downstream input queue, and head eligibility is gated by ReadyAt,
+	// which already encodes the channel + pipeline delay.)
 	credWheel [][]creditEvt
 	cycle     int64
 
@@ -157,8 +224,18 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.NumVCs < 1 || cfg.BufPerPort < cfg.NumVCs {
 		return nil, fmt.Errorf("sim: need at least 1 flit of buffering per VC")
 	}
+	// Packet cycle stamps (Birth, ReadyAt) are int32; reject windows that
+	// could reach them rather than silently wrapping mid-run. The margin
+	// leaves room for the per-hop delay added on top of the final cycle.
+	if total := int64(cfg.Warmup) + int64(cfg.Measure) + int64(cfg.Drain); total > (1<<31)-(1<<20) {
+		return nil, fmt.Errorf("sim: warmup+measure+drain = %d cycles exceeds the int32 cycle-stamp range", total)
+	}
 	t := cfg.Topo
 	g := t.Graph()
+	nextPort, n := cfg.Tables.NextPortFlat()
+	if n != g.N() {
+		return nil, fmt.Errorf("sim: tables built for %d routers, topology has %d", n, g.N())
+	}
 	s := &Sim{
 		cfg:      cfg,
 		rng:      stats.NewRNG(cfg.Seed),
@@ -166,13 +243,22 @@ func New(cfg Config) (*Sim, error) {
 		epRouter: make([]int32, t.Endpoints()),
 		epIdx:    make([]int32, t.Endpoints()),
 		bufPerVC: cfg.BufPerPort / cfg.NumVCs,
+		nextPort: nextPort,
+		nRouters: n,
+		active:   make([]int32, 0, g.N()),
+		inActive: make([]bool, g.N()),
 	}
 	if sp, ok := cfg.Algo.(interface{ SpreadVCs() bool }); ok && sp.SpreadVCs() {
 		s.spreadVCs = true
 	}
+	if st, ok := cfg.Algo.(interface{ StaticPorts() bool }); ok && st.StaticPorts() {
+		s.staticPorts = true
+	}
 	for e := 0; e < t.Endpoints(); e++ {
 		s.epRouter[e] = int32(t.EndpointRouter(e))
 	}
+	maxQ, maxOutputs := 0, 0
+	credCap := 0
 	for r := 0; r < g.N(); r++ {
 		rt := &s.routers[r]
 		rt.nbr = g.Neighbors(r) // sorted
@@ -184,54 +270,74 @@ func New(cfg Config) (*Sim, error) {
 		deg := len(rt.nbr)
 		ports := deg + len(rt.eps)
 		rt.inQ = make([]fifo, ports*cfg.NumVCs)
-		for p := 0; p < deg; p++ {
-			for v := 0; v < cfg.NumVCs; v++ {
-				rt.inQ[p*cfg.NumVCs+v] = newFifo(s.bufPerVC)
-			}
+		rt.occ = make([]uint64, (ports*cfg.NumVCs+63)/64)
+		rt.headState = make([]int64, ports*cfg.NumVCs)
+		// All bounded VC buffers of a router share one contiguous backing
+		// array: queue q owns the fixed window [q*bufPerVC, (q+1)*bufPerVC).
+		// One allocation instead of deg*NumVCs, and the allocator's hot
+		// loop walks warm, adjacent memory instead of chasing per-queue
+		// heap blocks.
+		inBacking := make([]Packet, deg*cfg.NumVCs*s.bufPerVC)
+		for q := 0; q < deg*cfg.NumVCs; q++ {
+			off := q * s.bufPerVC
+			rt.inQ[q] = fifo{buf: inBacking[off : off+s.bufPerVC : off+s.bufPerVC], bounded: true}
 		}
-		// Injection queues (unbounded): only VC 0 is used.
+		// Injection queues (unbounded source queues): only VC 0 is used.
 		for p := deg; p < ports; p++ {
-			rt.inQ[p*cfg.NumVCs] = fifo{}
+			rt.inQ[p*cfg.NumVCs] = fifo{buf: make([]Packet, 0, injQueueCap)}
 		}
 		rt.credits = make([]int16, deg*cfg.NumVCs)
 		for i := range rt.credits {
 			rt.credits[i] = int16(s.bufPerVC)
 		}
-		rt.outQ = make([]fifo, deg)
-		for p := 0; p < deg; p++ {
-			rt.outQ[p] = newFifo(cfg.Speedup)
-		}
-		rt.rr = make([]int32, deg+len(rt.eps))
+		rt.outStaged = make([]int16, deg)
+		rt.rr = make([]int32, ports)
 		rt.revPort = make([]int32, deg)
+		if len(rt.inQ) > maxQ {
+			maxQ = len(rt.inQ)
+		}
+		if ports > maxOutputs {
+			maxOutputs = ports
+		}
+		credCap += deg*cfg.Speedup + len(rt.eps) // <= one credit per grant per cycle
 	}
-	// Reverse port indices for credit addressing.
+	// Reverse port indices for credit addressing: the port table answers
+	// neighbour->port directly (adjacent pairs route via their link).
 	for r := range s.routers {
 		for i, nb := range s.routers[r].nbr {
-			s.routers[r].revPort[i] = int32(portOf(s.routers[nb].nbr, int32(r)))
+			s.routers[r].revPort[i] = s.PortToward(nb, int32(r))
 		}
 	}
-	wheel := cfg.ChannelDelay
-	if cfg.CreditDelay > wheel {
-		wheel = cfg.CreditDelay
-	}
-	wheel++
-	s.arrWheel = make([][]arrival, wheel)
+	s.scrQ = make([]int32, maxQ)
+	s.scrOut = make([]int32, maxQ)
+	s.scrBkt = make([]int32, maxQ)
+	s.scrCnt = make([]int32, maxOutputs)
+	s.scrOff = make([]int32, maxOutputs)
+	wheel := cfg.CreditDelay + 1
 	s.credWheel = make([][]creditEvt, wheel)
+	for i := 0; i < wheel; i++ {
+		s.credWheel[i] = make([]creditEvt, 0, credCap)
+	}
 	return s, nil
 }
 
-// portOf returns the index of target in the sorted neighbour list.
-func portOf(nbr []int32, target int32) int {
-	i := sort.Search(len(nbr), func(i int) bool { return nbr[i] >= target })
-	return i
+// PortToward returns router r's output-port index toward destination
+// router d: one load from the flat precomputed port table. For a
+// neighbour d it is the port of the direct link. Returns -1 when d == r
+// or d is unreachable.
+func (s *Sim) PortToward(r, d int32) int32 {
+	return s.nextPort[int(r)*s.nRouters+int(d)]
 }
+
+// PortNeighbor returns the router behind r's output port.
+func (s *Sim) PortNeighbor(r, port int32) int32 { return s.routers[r].nbr[port] }
 
 // QueueEstimate returns the congestion estimate for router r's network
 // output port: occupied downstream buffer slots plus staged flits. UGAL
 // uses this as its "output queue length" (Section IV-C).
 func (s *Sim) QueueEstimate(r int32, port int) int {
 	rt := &s.routers[r]
-	occ := rt.outQ[port].size()
+	occ := int(rt.outStaged[port])
 	base := port * s.cfg.NumVCs
 	for v := 0; v < s.cfg.NumVCs; v++ {
 		occ += s.bufPerVC - int(rt.credits[base+v])
@@ -245,9 +351,31 @@ func (s *Sim) Tables() *route.Tables { return s.cfg.Tables }
 // RNG exposes the simulation RNG to routing algorithms.
 func (s *Sim) RNG() *stats.RNG { return s.rng }
 
-// NetPortToward returns r's output port index toward neighbour nxt.
-func (s *Sim) NetPortToward(r, nxt int32) int {
-	return portOf(s.routers[r].nbr, nxt)
+// touch adds router r to the active worklist if it is not already on it.
+func (s *Sim) touch(r int32) {
+	if !s.inActive[r] {
+		s.inActive[r] = true
+		s.active = append(s.active, r)
+	}
+}
+
+// setHead refreshes router r's head caches for queue qi, whose head packet
+// pkt was just revealed (pushed into an empty queue, or exposed by a pop).
+// For static-port algorithms the routing decision is made here, once per
+// reveal, instead of once per cycle in the allocator scan; the call order
+// is unobservable because static TargetPort implementations consume no RNG
+// and their only packet mutation (the Valiant phase flip) is idempotent.
+func (s *Sim) setHead(rt *router, r int32, qi int, pkt *Packet) {
+	var out int32
+	if pkt.DstRouter == r {
+		out = int32(len(rt.nbr) + int(s.epIdx[pkt.Dst]))
+	} else if s.staticPorts {
+		out = s.cfg.Algo.TargetPort(s, pkt, r)
+		if out < 0 || int(out) >= len(rt.nbr) {
+			s.badTargetPort(r, pkt, out, len(rt.nbr))
+		}
+	}
+	rt.headState[qi] = int64(out)<<32 | int64(uint32(pkt.ReadyAt))
 }
 
 // Run executes the configured simulation and returns the measurements.
@@ -294,24 +422,17 @@ func (s *Sim) Run() Result {
 // step advances the simulation by one cycle.
 func (s *Sim) step(inject bool) {
 	cfg := &s.cfg
-	slot := int(s.cycle % int64(len(s.arrWheel)))
+	slot := int(s.cycle % int64(len(s.credWheel)))
 
-	// 1. Deliver link arrivals scheduled for this cycle.
-	for _, a := range s.arrWheel[slot] {
-		rt := &s.routers[a.router]
-		q := &rt.inQ[int(a.port)*cfg.NumVCs+int(a.pkt.VC)]
-		q.push(a.pkt) // space guaranteed by credits
-		rt.flits++
-	}
-	s.arrWheel[slot] = s.arrWheel[slot][:0]
-
-	// 2. Credit returns.
+	// 1. Credit returns scheduled for this cycle. (No touch needed: a
+	// credit only matters to a router whose flit is blocked on it, and a
+	// router with buffered flits is already on the worklist.)
 	for _, c := range s.credWheel[slot] {
 		s.routers[c.router].credits[int(c.port)*cfg.NumVCs+int(c.vc)]++
 	}
 	s.credWheel[slot] = s.credWheel[slot][:0]
 
-	// 3. Injection (Bernoulli per endpoint).
+	// 2. Injection (Bernoulli per endpoint).
 	if inject {
 		for e := range s.epRouter {
 			if !s.rng.Bernoulli(cfg.Load) {
@@ -321,21 +442,32 @@ func (s *Sim) step(inject bool) {
 			if dst < 0 {
 				continue
 			}
-			pkt := Packet{
+			// Construct the packet in place in its source-queue slot: the
+			// slot pointer (into the heap-resident queue buffer) is what
+			// the OnInject interface call needs, so nothing escapes and
+			// nothing is copied.
+			r := s.epRouter[e]
+			rt := &s.routers[r]
+			qi := (len(rt.nbr) + int(s.epIdx[e])) * cfg.NumVCs
+			f := &rt.inQ[qi]
+			wasEmpty := f.empty()
+			pkt := f.pushTail()
+			*pkt = Packet{
 				Src:       int32(e),
 				Dst:       int32(dst),
 				DstRouter: s.epRouter[dst],
 				Interm:    -1,
-				Birth:     s.cycle,
-				ReadyAt:   s.cycle + 1,
+				Birth:     int32(s.cycle),
+				ReadyAt:   int32(s.cycle + 1),
 				Measured:  s.cycle >= int64(cfg.Warmup),
 			}
-			cfg.Algo.OnInject(s, &pkt)
-			r := s.epRouter[e]
-			rt := &s.routers[r]
-			port := len(rt.nbr) + int(s.epIdx[e])
-			rt.inQ[port*cfg.NumVCs].push(pkt)
+			cfg.Algo.OnInject(s, pkt)
+			if wasEmpty {
+				rt.markOcc(qi)
+				s.setHead(rt, r, qi, pkt)
+			}
 			rt.flits++
+			s.touch(r)
 			if pkt.Measured {
 				s.injected++
 				s.inFlight++
@@ -343,101 +475,202 @@ func (s *Sim) step(inject bool) {
 		}
 	}
 
-	// 4. Switch allocation + VC allocation per router.
-	for r := range s.routers {
+	// The worklist accumulates routers in delivery/injection order; sort
+	// it so steps 3-4 visit routers in ascending id order, exactly like
+	// the full scan they replace (the order is observable through
+	// round-robin state and the RNG draws adaptive algorithms make during
+	// allocation).
+	slices.Sort(s.active)
+
+	// 3. Switch allocation + VC allocation per active router.
+	for _, r := range s.active {
 		rt := &s.routers[r]
 		if rt.flits == 0 {
 			continue
 		}
-		s.allocate(int32(r), rt)
+		s.allocate(r, rt)
 	}
 
-	// 5. Link traversal: one flit per network output per cycle.
-	chSlot := int((s.cycle + int64(cfg.ChannelDelay)) % int64(len(s.arrWheel)))
-	for r := range s.routers {
-		rt := &s.routers[r]
-		for p := range rt.outQ {
-			if rt.outQ[p].empty() {
+	// 4. Link traversal: one flit departs per staged network output per
+	// cycle. The packets themselves were delivered downstream at grant
+	// time (allocate) with ReadyAt stamps encoding exactly this
+	// serialisation plus the channel and pipeline delays, so departure is
+	// pure counter bookkeeping here.
+	if s.collect && s.cycle >= int64(cfg.Warmup) && s.cycle < s.windowEnd {
+		for _, r := range s.active {
+			rt := &s.routers[r]
+			if rt.staged == 0 {
 				continue
 			}
-			pkt := rt.outQ[p].pop()
-			if s.collect && s.cycle >= int64(cfg.Warmup) && s.cycle < s.windowEnd {
-				s.chanFlits[r][p]++
+			for p, n := range rt.outStaged {
+				if n > 0 {
+					rt.outStaged[p]--
+					rt.staged--
+					s.chanFlits[r][p]++
+				}
 			}
-			pkt.ReadyAt = s.cycle + int64(cfg.ChannelDelay) + int64(cfg.RouterDelay)
-			s.arrWheel[chSlot] = append(s.arrWheel[chSlot], arrival{
-				router: rt.nbr[p],
-				port:   rt.revPort[p],
-				pkt:    pkt,
-			})
+		}
+	} else {
+		for _, r := range s.active {
+			rt := &s.routers[r]
+			if rt.staged == 0 {
+				continue
+			}
+			for p, n := range rt.outStaged {
+				if n > 0 {
+					rt.outStaged[p]--
+					rt.staged--
+				}
+			}
 		}
 	}
+
+	// Drop routers that went fully idle; the rest stay listed for the
+	// next cycle.
+	kept := s.active[:0]
+	for _, r := range s.active {
+		rt := &s.routers[r]
+		if rt.flits > 0 || rt.staged > 0 {
+			kept = append(kept, r)
+		} else {
+			s.inActive[r] = false
+		}
+	}
+	s.active = kept
+}
+
+// badTargetPort reports a routing-contract violation: the algorithm
+// answered with a port that is not a network output of router r. The
+// panic names everything needed to reproduce the misroute.
+func (s *Sim) badTargetPort(r int32, p *Packet, port int32, deg int) {
+	panic(fmt.Sprintf(
+		"sim: algorithm %s returned invalid output port %d at router %d (degree %d): packet src=%d dst=%d dstRouter=%d interm=%d phase=%d hops=%d",
+		s.cfg.Algo.Name(), port, r, deg, p.Src, p.Dst, p.DstRouter, p.Interm, p.Phase, p.Hops))
 }
 
 // allocate performs combined switch/VC allocation for one router: each
 // output grants up to Speedup requests among eligible input heads,
-// round-robin for fairness.
+// round-robin for fairness. Requests are gathered into per-output buckets
+// on the simulator's preallocated scratch (a stable counting sort by
+// output port), so the hot loop performs no heap allocation.
 func (s *Sim) allocate(r int32, rt *router) {
 	cfg := &s.cfg
 	deg := len(rt.nbr)
-	numQ := len(rt.inQ)
 	outputs := deg + len(rt.eps)
 
-	// Collect, per output, the requesting input queues.
-	// Small fixed scratch on the stack would be nicer; outputs and queue
-	// counts are small (< few hundred), so allocate-once slices per router
-	// would add state -- reuse a per-call map-free structure instead.
-	type request struct {
-		q    int32 // input queue index
-		next int32 // next router (network) or -1 (eject)
+	// Pass 1: one request per eligible input-queue head, tagged with its
+	// output port (the ejection port for local traffic, the algorithm's
+	// TargetPort answer otherwise). The occupancy bitmask walks exactly
+	// the non-empty queues in ascending index order (the same order a
+	// full scan would visit them), so idle queues cost nothing.
+	cnt := s.scrCnt[:outputs]
+	for i := range cnt {
+		cnt[i] = 0
 	}
-	reqs := make([][]request, outputs)
-	for q := 0; q < numQ; q++ {
-		f := &rt.inQ[q]
-		if f.empty() {
-			continue
+	nreq := 0
+	if s.staticPorts {
+		// Static algorithms: the head caches already hold every decision,
+		// so the scan reads two compact arrays and never touches a packet.
+		cycle32 := int32(s.cycle)
+		for w, m := range rt.occ {
+			base := w << 6
+			for m != 0 {
+				q := base + bits.TrailingZeros64(m)
+				m &= m - 1
+				st := rt.headState[q]
+				if int32(uint32(st)) > cycle32 {
+					continue
+				}
+				out := int32(st >> 32)
+				s.scrQ[nreq] = int32(q)
+				s.scrOut[nreq] = out
+				cnt[out]++
+				nreq++
+			}
 		}
-		pkt := f.peek()
-		if pkt.ReadyAt > s.cycle {
-			continue
+	} else {
+		// Adaptive algorithms (queue state, RNG) decide afresh each cycle.
+		for w, m := range rt.occ {
+			base := w << 6
+			for m != 0 {
+				q := base + bits.TrailingZeros64(m)
+				m &= m - 1
+				pkt := rt.inQ[q].peek()
+				if int64(pkt.ReadyAt) > s.cycle {
+					continue
+				}
+				var out int32
+				if pkt.DstRouter == r {
+					out = int32(deg + int(s.epIdx[pkt.Dst]))
+				} else {
+					out = cfg.Algo.TargetPort(s, pkt, r)
+					if out < 0 || int(out) >= deg {
+						s.badTargetPort(r, pkt, out, deg)
+					}
+				}
+				s.scrQ[nreq] = int32(q)
+				s.scrOut[nreq] = out
+				cnt[out]++
+				nreq++
+			}
 		}
-		if pkt.DstRouter == r {
-			ej := deg + int(s.epIdx[pkt.Dst])
-			reqs[ej] = append(reqs[ej], request{q: int32(q), next: -1})
-			continue
-		}
-		next := cfg.Algo.Target(s, pkt, r)
-		port := portOf(rt.nbr, next)
-		reqs[port] = append(reqs[port], request{q: int32(q), next: next})
+	}
+	if nreq == 0 {
+		return
 	}
 
+	// Bucket by output, stable in input-queue order.
+	off := s.scrOff[:outputs]
+	sum := int32(0)
+	for i := 0; i < outputs; i++ {
+		off[i] = sum
+		sum += cnt[i]
+	}
+	for k := 0; k < nreq; k++ {
+		o := s.scrOut[k]
+		s.scrBkt[off[o]] = s.scrQ[k]
+		off[o]++
+	}
+
+	// Pass 2: per-output round-robin grants. off[out] is now the bucket
+	// end; the start is off[out]-cnt[out].
 	for out := 0; out < outputs; out++ {
-		cand := reqs[out]
-		if len(cand) == 0 {
+		ncand := int(cnt[out])
+		if ncand == 0 {
 			continue
 		}
+		bktStart := off[out] - cnt[out]
+		cand := s.scrBkt[bktStart:off[out]]
 		grants := cfg.Speedup
 		if out >= deg {
 			grants = 1 // ejection channel: one flit per cycle
 		}
-		start := int(rt.rr[out]) % len(cand)
+		idx := int(rt.rr[out]) % ncand
 		granted := 0
-		for i := 0; i < len(cand) && granted < grants; i++ {
-			c := cand[(start+i)%len(cand)]
-			q := &rt.inQ[c.q]
-			pkt := q.peek()
+		for i := 0; i < ncand && granted < grants; i++ {
+			qi := int(cand[idx])
+			q := &rt.inQ[qi]
+			idx++
+			if idx == ncand {
+				idx = 0
+			}
 			if out >= deg {
 				// Eject: deliver to endpoint.
 				p := q.pop()
+				if q.empty() {
+					rt.clearOcc(qi)
+				} else {
+					s.setHead(rt, r, qi, q.peek())
+				}
 				rt.flits--
 				s.deliver(&p)
-				s.returnCredit(r, rt, int(c.q))
+				s.returnCredit(r, rt, qi)
 				granted++
 				continue
 			}
 			// Network hop: need staging space and a downstream credit for
 			// the next-hop VC (hop-indexed, Gopal's scheme, Section IV-D).
-			if rt.outQ[out].full() {
+			if int(rt.outStaged[out]) >= cfg.Speedup {
 				break // output staging exhausted this cycle
 			}
 			// VC allocation. Default: hop-indexed (Gopal's scheme,
@@ -458,7 +691,7 @@ func (s *Sim) allocate(r int32, rt *router) {
 					continue
 				}
 			} else {
-				nextVC = pkt.Hops
+				nextVC = q.peek().Hops
 				if int(nextVC) >= cfg.NumVCs {
 					nextVC = int8(cfg.NumVCs - 1)
 				}
@@ -467,15 +700,41 @@ func (s *Sim) allocate(r int32, rt *router) {
 				}
 			}
 			p := q.pop()
+			if q.empty() {
+				rt.clearOcc(qi)
+			} else {
+				s.setHead(rt, r, qi, q.peek())
+			}
 			rt.flits--
-			s.returnCredit(r, rt, int(c.q))
+			s.returnCredit(r, rt, qi)
 			p.VC = nextVC
 			p.Hops++
 			rt.credits[out*cfg.NumVCs+int(nextVC)]--
-			rt.outQ[out].push(p)
+			// Deliver downstream immediately. The flit departs onto the
+			// link only after the flits already staged on this output
+			// (one per cycle), and then pays the channel and pipeline
+			// delays; ReadyAt encodes all of it, and the head is invisible
+			// to the downstream allocator until then. The buffer slot is
+			// reserved by the credit taken above.
+			depart := s.cycle + int64(rt.outStaged[out])
+			p.ReadyAt = int32(depart + int64(cfg.ChannelDelay) + int64(cfg.RouterDelay))
+			rt.outStaged[out]++
+			rt.staged++
+			dst := rt.nbr[out]
+			drt := &s.routers[dst]
+			dqi := int(rt.revPort[out])*cfg.NumVCs + int(nextVC)
+			dq := &drt.inQ[dqi]
+			wasEmpty := dq.empty()
+			dq.push(p)
+			if wasEmpty {
+				drt.markOcc(dqi)
+				s.setHead(drt, dst, dqi, dq.peek())
+			}
+			drt.flits++
+			s.touch(dst)
 			granted++
 		}
-		rt.rr[out] = (rt.rr[out] + 1) % int32(len(cand))
+		rt.rr[out] = (rt.rr[out] + 1) % int32(ncand)
 	}
 }
 
@@ -506,7 +765,7 @@ func (s *Sim) deliver(p *Packet) {
 	if !p.Measured {
 		return
 	}
-	lat := s.cycle - p.Birth
+	lat := s.cycle - int64(p.Birth)
 	if s.collect {
 		s.latencies = append(s.latencies, int32(lat))
 	}
