@@ -35,6 +35,7 @@ func main() {
 		measure = flag.Int("measure", 5000, "measured cycles")
 		bufSize = flag.Int("buf", 64, "flit buffering per port")
 		vcs     = flag.Int("vcs", 3, "virtual channels")
+		workers = flag.Int("workers", 0, "intra-simulation workers (0 = serial engine; any value gives bit-identical results)")
 		seed    = flag.Uint64("seed", 1, "seed")
 		list    = flag.Bool("list", false, "list registered topologies, algos and patterns")
 	)
@@ -54,6 +55,7 @@ func main() {
 		Sim: scenario.SimParams{
 			Warmup: *warmup, Measure: *measure,
 			NumVCs: *vcs, BufPerPort: *bufSize,
+			Workers: *workers,
 		},
 	}
 	spec.Topo = spec.Topo.Canonical()

@@ -1,9 +1,11 @@
 // Command sfsweep orchestrates simulation sweeps: it expands a declarative
 // JSON spec (topologies x routing algorithms x traffic patterns x load grid
 // x seeds) into a deterministic job list, runs it on a sharded
-// work-stealing pool with one worker per core, serves repeated points from
-// a content-addressed on-disk cache, and writes an artifact directory with
-// the results as JSON and CSV.
+// work-stealing pool, serves repeated points from a content-addressed
+// on-disk cache, and writes an artifact directory with the results as JSON
+// and CSV. The core budget is split between concurrent jobs and
+// intra-simulation shards (-sim-workers; results are bit-identical at any
+// split, so the choice is pure wall-clock tuning).
 //
 // Usage:
 //
@@ -37,7 +39,8 @@ func main() {
 		specPath = flag.String("spec", "", "sweep spec file (JSON object or array; '-' for stdin)")
 		outDir   = flag.String("out", "sweep-out", "artifact directory")
 		cacheDir = flag.String("cache", "", "result cache directory (default <out>/cache)")
-		workers  = flag.Int("workers", 0, "pool width (default: one per core)")
+		workers  = flag.Int("workers", 0, "core budget for the pool (default: one per core)")
+		simW     = flag.Int("sim-workers", 0, "intra-simulation workers per job (0 = auto: split the core budget between concurrent jobs and shards; results are identical either way)")
 		interval = flag.Duration("progress", 2*time.Second, "progress report interval (0 disables)")
 		dryRun   = flag.Bool("dry-run", false, "print the expanded job list and exit")
 		noCache  = flag.Bool("no-cache", false, "execute every job, ignoring and not writing the cache")
@@ -87,7 +90,34 @@ func main() {
 	if nw <= 0 {
 		nw = runtime.GOMAXPROCS(0)
 	}
+	// Split the core budget between concurrent jobs and intra-simulation
+	// shards: a sweep with fewer *pending* jobs than cores (big networks,
+	// or the tail of a resumed sweep where most points are already cached)
+	// shards each simulation instead of idling cores. Cached jobs cost
+	// milliseconds and don't need cores, so the split counts cache misses
+	// only. The sharded engine is bit-identical to the serial one, so the
+	// split never affects results or cache keys.
+	// The pool keeps its full width either way -- cache hits drain in
+	// parallel, and workers beyond the pending count just idle out.
+	simWorkers := *simW
+	if simWorkers == 0 {
+		pending := len(jobs)
+		if cache != nil {
+			pending = 0
+			for _, j := range jobs {
+				if !cache.Has(j.Key()) {
+					pending++
+				}
+			}
+		}
+		if pending > 0 {
+			_, simWorkers = sweep.SplitParallelism(pending, nw)
+		}
+	}
 	fmt.Fprintf(os.Stderr, "sfsweep: %d jobs on %d workers", len(jobs), nw)
+	if simWorkers > 1 {
+		fmt.Fprintf(os.Stderr, " x %d shards", simWorkers)
+	}
 	if cache != nil {
 		fmt.Fprintf(os.Stderr, ", cache %s", cache.Dir())
 	}
@@ -116,8 +146,9 @@ func main() {
 	}
 
 	results, stats, runErr := sweep.RunJobs(ctx, jobs, sweep.NewEnv(), sweep.Options{
-		Workers: nw,
-		Cache:   cache,
+		Workers:    nw,
+		SimWorkers: simWorkers,
+		Cache:      cache,
 		OnDone: func(_ int, r sweep.JobResult) {
 			prog.Observe(r)
 			if r.Err != "" {

@@ -3,6 +3,7 @@ package exp
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"slimfly/internal/route"
 	"slimfly/internal/scenario"
@@ -96,11 +97,13 @@ type runSpec struct {
 	load    float64
 }
 
-// runAll executes the specs on the sweep engine's work-stealing pool
-// (each simulation is single-threaded and deterministic) and returns
-// results in order. The networks and patterns are pre-built, so the tasks
-// carry closures rather than declarative jobs; the per-index seed scheme
-// keeps results bit-identical to sequential execution.
+// runAll executes the specs on the sweep engine's work-stealing pool and
+// returns results in order. The networks and patterns are pre-built, so
+// the tasks carry closures rather than declarative jobs; the per-index
+// seed scheme keeps results bit-identical to sequential execution, and
+// perfOptions may additionally shard each simulation across spare cores
+// (the sharded engine is bit-identical too, so figures never depend on
+// the machine's core count).
 func runAll(specs []runSpec, sc PerfScale, seed uint64) []sim.Result {
 	tasks := make([]sweep.Task, len(specs))
 	for i := range specs {
@@ -114,7 +117,7 @@ func runAll(specs []runSpec, sc PerfScale, seed uint64) []sim.Result {
 			}, nil
 		}}
 	}
-	jrs, _, err := sweep.RunTasks(context.Background(), tasks, sweep.Options{})
+	jrs, _, err := sweep.RunTasks(context.Background(), tasks, perfOptions(len(tasks)))
 	if err != nil {
 		panic(err)
 	}
@@ -128,6 +131,15 @@ func runAll(specs []runSpec, sc PerfScale, seed uint64) []sim.Result {
 	return results
 }
 
+// perfOptions is the experiment pool configuration: the machine's cores
+// split between concurrent simulations and intra-simulation shards, so
+// the big Fig6/Fig8 networks of the paper-scale runs keep every core busy
+// even when only a few (or one) simulation remains.
+func perfOptions(njobs int) sweep.Options {
+	pw, sw := sweep.SplitParallelism(njobs, runtime.GOMAXPROCS(0))
+	return sweep.Options{Workers: pw, SimWorkers: sw}
+}
+
 // runConfigs executes fully built simulator configurations on the sweep
 // pool and returns results in order; used by the experiments whose knobs
 // (buffer depth, oversubscription) live outside the runSpec shape.
@@ -137,7 +149,7 @@ func runConfigs(cfgs []sim.Config) []sim.Result {
 		cfg := cfgs[i]
 		tasks[i] = sweep.Task{Build: func() (sim.Config, error) { return cfg, nil }}
 	}
-	jrs, _, err := sweep.RunTasks(context.Background(), tasks, sweep.Options{})
+	jrs, _, err := sweep.RunTasks(context.Background(), tasks, perfOptions(len(tasks)))
 	if err != nil {
 		panic(err)
 	}

@@ -109,6 +109,11 @@ func WithPattern(name string) Option { return func(s *Spec) { s.Pattern = name }
 // WithSim overrides the simulator knobs wholesale.
 func WithSim(p SimParams) Option { return func(s *Spec) { s.Sim = p } }
 
+// WithWorkers overrides intra-simulation parallelism (the sharded engine's
+// worker count; 0 = serial). Results are bit-identical either way, and the
+// knob does not enter the scenario's cache key.
+func WithWorkers(n int) Option { return func(s *Spec) { s.Sim.Workers = n } }
+
 // Config resolves spec s (with opts applied to a copy) into a runnable
 // simulator configuration: topology and tables from the memoised builds,
 // algorithm and pattern by registry name.
@@ -135,6 +140,7 @@ func (e *Env) Config(s Spec, opts ...Option) (sim.Config, error) {
 		RouterDelay: p.RouterDelay, ChannelDelay: p.ChannelDelay,
 		CreditDelay: p.CreditDelay, Speedup: p.Speedup,
 		Warmup: p.Warmup, Measure: p.Measure, Drain: p.Drain,
-		Seed: s.Seed,
+		Workers: p.Workers,
+		Seed:    s.Seed,
 	}, nil
 }

@@ -247,3 +247,41 @@ func TestEnvPatternMemoised(t *testing.T) {
 		t.Error("different seeds shared one adversarial pattern")
 	}
 }
+
+// TestWorkersKnob pins the execution-knob contract of SimParams.Workers:
+// WithWorkers reaches sim.Config.Workers, but the knob never enters the
+// JSON encoding or the content address. The sharded engine is
+// bit-identical to the serial one, so a cached result is valid whatever
+// parallelism computed it -- letting the key vary with Workers would
+// split the cache by machine shape for no reason.
+func TestWorkersKnob(t *testing.T) {
+	env := scenario.NewEnv()
+	base := scenario.Spec{
+		Topo: scenario.TopoSpec{Kind: "SF", Q: 5},
+		Algo: "min", Pattern: "uniform", Load: 0.1, Seed: 1,
+		Sim: scenario.SimParams{Warmup: 10, Measure: 20, Drain: 100},
+	}
+	cfg, err := env.Config(base, scenario.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers != 4 {
+		t.Errorf("WithWorkers not applied: cfg.Workers = %d", cfg.Workers)
+	}
+	sharded := base
+	sharded.Sim.Workers = 4
+	if sharded.Key() != base.Key() {
+		t.Error("Workers changed the cache key; it must be worker-count-invariant")
+	}
+	a, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Errorf("Workers leaked into the spec encoding:\n %s\n %s", a, b)
+	}
+}

@@ -87,6 +87,15 @@ type SimParams struct {
 	ChannelDelay int `json:"channel_delay,omitempty"`
 	CreditDelay  int `json:"credit_delay,omitempty"`
 	Speedup      int `json:"speedup,omitempty"`
+
+	// Workers is intra-simulation parallelism (sim.Config.Workers). It is
+	// an execution knob, not part of the scenario's identity: the sharded
+	// engine is bit-identical to the serial one for every worker count, so
+	// Workers is excluded from the JSON encoding and therefore from
+	// Spec.Key -- cached results stay valid whatever parallelism computed
+	// them, and a sweep resumed on a different machine hits the same cache
+	// entries. Set it with WithWorkers or sweep.Options.SimWorkers.
+	Workers int `json:"-"`
 }
 
 // Spec is one fully resolved scenario point: a topology, a routing

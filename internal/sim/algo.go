@@ -341,6 +341,10 @@ func (a FTANCA) TargetPort(s *Sim, p *Packet, r int32) int32 {
 // almost always strictly lowest), serialising the switch; the +1 tolerance
 // window keeps the adaptivity while spreading simultaneous decisions,
 // emulating the per-packet port arbitration of a hardware allocator.
+//
+// The tie-break draws come from router r's allocation stream (PortRNG),
+// never the shared injection stream: allocation-time draws keyed by router
+// id are what keep the decide phase deterministic under any worker count.
 func (a FTANCA) bestUp(s *Sim, r int32, gen func(i int) int32) int32 {
 	arity := a.FT.Arity
 	var ests [64]int
@@ -358,7 +362,7 @@ func (a FTANCA) bestUp(s *Sim, r int32, gen func(i int) int32) int32 {
 			cand++
 		}
 	}
-	pick := s.rng.Intn(cand)
+	pick := s.PortRNG(r).Intn(cand)
 	for i := 0; i < arity; i++ {
 		if ests[i] <= minQ+1 {
 			if pick == 0 {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 
 	"slimfly/internal/route"
@@ -11,16 +12,19 @@ import (
 // newSteadySim builds a SlimFly simulation at 70% uniform load and
 // advances it past warm-up so the network is in steady state: queues
 // populated, wheel slots and staging buffers at their working sizes.
-func newSteadySim(tb testing.TB, q, warm int, algo Algo) *Sim {
+// workers selects the engine: 0 the serial path, >= 1 the sharded
+// decide/commit path (callers must Close sims they step manually).
+func newSteadySim(tb testing.TB, q, warm int, algo Algo, workers int) *Sim {
 	sf := slimfly.MustNew(q)
 	rt := route.Build(sf.Graph())
 	s, err := New(Config{
 		Topo: sf, Tables: rt, Algo: algo, Pattern: traffic.Uniform{N: sf.Endpoints()},
-		Load: 0.7, Warmup: 1, Measure: 1, Seed: 17,
+		Load: 0.7, Warmup: 1, Measure: 1, Seed: 17, Workers: workers,
 	})
 	if err != nil {
 		tb.Fatal(err)
 	}
+	tb.Cleanup(s.Close)
 	for i := 0; i < warm; i++ {
 		s.step(true)
 		s.cycle++
@@ -31,37 +35,49 @@ func newSteadySim(tb testing.TB, q, warm int, algo Algo) *Sim {
 // BenchmarkEngineStep measures the steady-state cost of one simulated
 // cycle on a SlimFly q=17 network (578 routers, ~5200 endpoints) at load
 // 0.7 — the sweep engine's unit of work — under minimal routing and under
-// the paper's headline adaptive scheme. Run with -benchmem: the
-// steady-state loop must report 0 allocs/op (see TestStepZeroAlloc).
+// the paper's headline adaptive scheme. w0 is the serial engine; w1/w2/w4
+// the sharded decide/commit engine at that worker count (w1 isolates the
+// phase-split overhead, w4 is the CI speedup gate). Run with -benchmem:
+// every variant must report 0 allocs/op (see TestStepZeroAlloc).
 func BenchmarkEngineStep(b *testing.B) {
 	for _, c := range []struct {
 		name string
 		algo Algo
 	}{{"MIN", MIN{}}, {"UGAL-L", UGALL{}}} {
-		b.Run(c.name, func(b *testing.B) {
-			s := newSteadySim(b, 17, 2000, c.algo)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				s.step(true)
-				s.cycle++
-			}
-		})
+		for _, workers := range []int{0, 1, 2, 4} {
+			c, workers := c, workers
+			b.Run(fmt.Sprintf("%s/w%d", c.name, workers), func(b *testing.B) {
+				s := newSteadySim(b, 17, 2000, c.algo, workers)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.step(true)
+					s.cycle++
+				}
+			})
+		}
 	}
 }
 
 // TestStepZeroAlloc asserts the engine's zero-allocation contract: once a
 // simulation reaches steady state, step() must not touch the heap at all
-// — the allocation scratch, event-wheel rings and queue buffers are all
-// preallocated at construction and reused every cycle. Any regression
-// (a fresh slice in the allocator, a growing wheel slot) fails this test
-// before it shows up as GC pressure in sweeps.
+// — the allocation scratch, event-wheel rings, queue buffers and (for the
+// sharded engine) per-shard grant records are all preallocated at
+// construction and reused every cycle. Any regression (a fresh slice in
+// the allocator, a growing wheel slot, a regrown grant buffer) fails this
+// test before it shows up as GC pressure in sweeps. The parallel variants
+// also pin that worker wake-ups and phase barriers stay allocation-free.
 func TestStepZeroAlloc(t *testing.T) {
-	s := newSteadySim(t, 9, 2000, MIN{})
-	allocs := testing.AllocsPerRun(1000, func() {
-		s.step(true)
-		s.cycle++
-	})
-	if allocs != 0 {
-		t.Fatalf("steady-state step allocates: %v allocs/op, want 0", allocs)
+	for _, workers := range []int{0, 1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
+			s := newSteadySim(t, 9, 2000, MIN{}, workers)
+			allocs := testing.AllocsPerRun(1000, func() {
+				s.step(true)
+				s.cycle++
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state step allocates: %v allocs/op, want 0", allocs)
+			}
+		})
 	}
 }

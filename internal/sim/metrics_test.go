@@ -90,6 +90,90 @@ func TestVAL3PathsShorter(t *testing.T) {
 	}
 }
 
+// TestResultUndrained covers Result aggregation when the simulation ends
+// with measured packets still in flight -- the drain window is too short
+// to empty the network, a state the commit phase's delivery reordering
+// must not miscount. Pinned: Saturated set, the drained/undrained split
+// (Delivered + in-flight == Injected, with Injected fixed by the injection
+// window regardless of drain length), window throughput independent of
+// the drain budget, and latency aggregates computed over delivered
+// packets only.
+func TestResultUndrained(t *testing.T) {
+	sf := slimfly.MustNew(5)
+	tb := route.Build(sf.Graph())
+	base := Config{
+		Topo: sf, Tables: tb, Algo: MIN{}, Pattern: traffic.Uniform{N: sf.Endpoints()},
+		Load: 0.9, Warmup: 200, Measure: 600, Seed: 11,
+	}
+	run := func(drain, workers int) Result {
+		cfg := base
+		cfg.Drain = drain
+		cfg.Workers = workers
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Run()
+	}
+
+	undrained := run(1, 0)   // one drain cycle: packets must remain in flight
+	drained := run(20000, 0) // full drain for the same injection window
+
+	if !undrained.Saturated {
+		t.Fatal("1-cycle drain reported fully drained")
+	}
+	if undrained.Delivered >= undrained.Injected {
+		t.Errorf("undrained run delivered %d of %d injected; expected a shortfall",
+			undrained.Delivered, undrained.Injected)
+	}
+	if undrained.TotalCycles != int64(base.Warmup+base.Measure+1) {
+		t.Errorf("TotalCycles = %d, want warmup+measure+drain = %d",
+			undrained.TotalCycles, base.Warmup+base.Measure+1)
+	}
+	if drained.Saturated {
+		t.Error("20000-cycle drain still saturated at load 0.9 on q=5")
+	}
+	// The injection window is identical (drain cycles never inject), so
+	// the drained run accounts for every measured packet the undrained
+	// run lost track of.
+	if drained.Injected != undrained.Injected {
+		t.Errorf("Injected differs with drain length: %d vs %d", drained.Injected, undrained.Injected)
+	}
+	if drained.Delivered != drained.Injected {
+		t.Errorf("drained run delivered %d of %d", drained.Delivered, drained.Injected)
+	}
+	// Accepted counts measurement-window deliveries only; the drain
+	// budget happens after the window and must not change it.
+	if drained.Accepted != undrained.Accepted {
+		t.Errorf("window throughput depends on drain length: %v vs %v", drained.Accepted, undrained.Accepted)
+	}
+	// Latency aggregates are over delivered packets only; undrained runs
+	// lose the slowest packets, so their averages cannot exceed the
+	// drained run's and must stay internally consistent.
+	if undrained.Delivered > 0 && undrained.AvgLatency <= 0 {
+		t.Error("undrained run has deliveries but no average latency")
+	}
+	if undrained.AvgLatency > float64(undrained.MaxLatency) {
+		t.Errorf("avg latency %v exceeds max %v", undrained.AvgLatency, undrained.MaxLatency)
+	}
+	if undrained.AvgLatency > drained.AvgLatency {
+		t.Errorf("undrained avg latency %v exceeds drained %v (lost packets are the slowest)",
+			undrained.AvgLatency, drained.AvgLatency)
+	}
+
+	// The sharded engine must agree exactly on the undrained split: the
+	// commit phase reorders deliveries within a cycle, and a miscounted
+	// in-flight packet shows up here as a drifted Saturated/Delivered.
+	for _, w := range []int{2, 3} {
+		if got := run(1, w); got != undrained {
+			t.Errorf("Workers=%d undrained result diverged:\n got  %#v\n want %#v", w, got, undrained)
+		}
+		if got := run(20000, w); got != drained {
+			t.Errorf("Workers=%d drained result diverged:\n got  %#v\n want %#v", w, got, drained)
+		}
+	}
+}
+
 func TestNeededVCsDefaults(t *testing.T) {
 	if (MIN{}).NeededVCs(2) != 2 || (VAL{}).NeededVCs(2) != 4 {
 		t.Error("SF VC counts wrong (paper: 2 minimal, 4 adaptive)")

@@ -1,0 +1,474 @@
+package sim
+
+// Deterministic sharded execution: Config.Workers > 0 partitions the
+// routers into contiguous shards and restructures each cycle into
+//
+//	credits -> injection -> DECIDE (parallel) -> COMMIT (ordered) -> link
+//
+// The decide phase runs the switch/VC-allocation logic of every shard
+// concurrently against the frozen pre-allocation state, recording grants
+// into per-shard scratch; the commit phase then applies them serially in
+// ascending router-id order: dequeues, ReadyAt-stamped downstream
+// delivery, credit returns and measurement. Results are bit-identical to
+// the serial engine because, within one cycle, a router's allocation
+// decisions depend only on its own frozen state:
+//
+//   - flits delivered downstream this cycle carry ReadyAt stamps in the
+//     future, so they are invisible to every allocator scan;
+//   - credits move through a delay wheel and surface at cycle starts;
+//   - credit and staging consumption is router-local (tracked as decide
+//     deltas, replayed by commit);
+//   - round-robin pointers are only ever read by their own router;
+//   - adaptive algorithms draw from per-router RNG streams (PortRNG),
+//     derived from the seed by stats.RNG jumps, so no draw depends on the
+//     visit order or the worker count; injection stays serial on the main
+//     stream.
+//
+// TestGoldenResultsParallel and TestCrossWorkerDeterminism pin the
+// equivalence; TestStepZeroAlloc covers the phased path's steady-state
+// zero-allocation contract.
+
+import (
+	"math/bits"
+	"slices"
+	"sync"
+)
+
+// grantRec is one recorded allocation grant: input queue qi moves through
+// output port out (an ejection port when out >= degree) on next-hop VC vc.
+type grantRec struct {
+	qi  int32
+	out int32
+	vc  int8
+}
+
+// grantHdr groups a router's grant records within a shard's record list.
+type grantHdr struct {
+	router int32
+	n      int32
+}
+
+// shardState is one shard's decide-phase working set: a contiguous
+// router-id range, the recorded grants, and private scratch mirroring the
+// serial allocator's. Only the shard that owns it ever touches it.
+type shardState struct {
+	lo, hi int32 // router-id range [lo, hi)
+
+	// Decide output, replayed by the commit phase in shard order (shard
+	// ranges and per-shard iteration are both ascending, so the
+	// concatenation is globally ascending in router id).
+	hdr  []grantHdr
+	recs []grantRec
+
+	// Allocation scratch (the per-shard copy of Sim.scrQ etc).
+	scrQ, scrOut, scrBkt []int32
+	scrCnt, scrOff       []int32
+
+	// Same-cycle consumption deltas: later grants of one router must see
+	// the credits and staging slots its earlier grants consumed, but the
+	// frozen shared state may not be written during decide, so the deltas
+	// live here and the touched entries are zeroed after each router.
+	credDelta  []int16 // [outPort*numVCs + vc]
+	stageDelta []int16 // [outPort]
+
+	// The shard's segment of the sorted active worklist this cycle.
+	activeLo, activeHi int
+
+	// A decide-phase panic (e.g. a TargetPort contract violation),
+	// captured on the worker and re-raised on the main goroutine so the
+	// descriptive misroute diagnostic survives parallel execution.
+	panicVal any
+}
+
+// parEngine holds the sharded engine's worker pool. Workers are started
+// lazily on the first phased step and stopped by Close (Run does this
+// automatically); each worker owns one fixed shard, woken per cycle
+// through its own buffered channel.
+type parEngine struct {
+	shards  []shardState
+	start   []chan struct{}
+	phaseWG sync.WaitGroup
+	lifeWG  sync.WaitGroup
+	quit    chan struct{}
+	started bool
+}
+
+// newParEngine partitions the routers into min(workers, nRouters)
+// contiguous shards and presizes every per-shard buffer so steady-state
+// phased steps never allocate: the grant-record capacity is each shard's
+// per-cycle grant bound (Speedup per network output plus one per
+// endpoint), the same bound the credit wheel is sized with.
+func newParEngine(s *Sim, workers, maxQ, maxOutputs int) *parEngine {
+	n := s.nRouters
+	ns := workers
+	if ns > n {
+		ns = n
+	}
+	cfg := &s.cfg
+	pe := &parEngine{
+		shards: make([]shardState, ns),
+		start:  make([]chan struct{}, ns),
+	}
+	for k := range pe.shards {
+		sh := &pe.shards[k]
+		sh.lo = int32(k * n / ns)
+		sh.hi = int32((k + 1) * n / ns)
+		grantCap := 0
+		for r := sh.lo; r < sh.hi; r++ {
+			rt := &s.routers[r]
+			grantCap += len(rt.nbr)*cfg.Speedup + len(rt.eps)
+		}
+		sh.hdr = make([]grantHdr, 0, sh.hi-sh.lo)
+		sh.recs = make([]grantRec, 0, grantCap)
+		sh.scrQ = make([]int32, maxQ)
+		sh.scrOut = make([]int32, maxQ)
+		sh.scrBkt = make([]int32, maxQ)
+		sh.scrCnt = make([]int32, maxOutputs)
+		sh.scrOff = make([]int32, maxOutputs)
+		sh.credDelta = make([]int16, maxOutputs*cfg.NumVCs)
+		sh.stageDelta = make([]int16, maxOutputs)
+		pe.start[k] = make(chan struct{}, 1)
+	}
+	return pe
+}
+
+// startWorkers launches one goroutine per shard beyond the first (the
+// main goroutine decides shard 0 itself while waiting).
+func (s *Sim) startWorkers() {
+	pe := s.par
+	pe.quit = make(chan struct{})
+	for w := 1; w < len(pe.shards); w++ {
+		pe.lifeWG.Add(1)
+		go s.decideWorker(w)
+	}
+	pe.started = true
+}
+
+func (s *Sim) decideWorker(w int) {
+	pe := s.par
+	defer pe.lifeWG.Done()
+	for {
+		select {
+		case <-pe.quit:
+			return
+		case <-pe.start[w]:
+			s.decideShard(&pe.shards[w])
+			pe.phaseWG.Done()
+		}
+	}
+}
+
+// Close stops the decide-phase workers. It is idempotent, a no-op on
+// serial simulators, and restartable (the next phased step relaunches the
+// pool). Run closes on exit; only callers stepping a parallel simulator
+// manually (benchmarks, tests) need to call it.
+func (s *Sim) Close() {
+	pe := s.par
+	if pe == nil || !pe.started {
+		return
+	}
+	close(pe.quit)
+	pe.lifeWG.Wait()
+	pe.started = false
+}
+
+// stepPhased advances one cycle on the sharded engine. Credits, injection,
+// link traversal and worklist pruning are the serial phases unchanged;
+// only switch allocation is split into parallel decide + ordered commit.
+func (s *Sim) stepPhased(inject bool) {
+	pe := s.par
+	s.applyCredits()
+	if inject {
+		s.injectPhase()
+	}
+	slices.Sort(s.active)
+
+	// Hand each shard its contiguous segment of the sorted worklist
+	// (shard ranges tile [0, nRouters), so one forward scan suffices).
+	pos, n := 0, len(s.active)
+	for k := range pe.shards {
+		sh := &pe.shards[k]
+		for pos < n && s.active[pos] < sh.lo {
+			pos++
+		}
+		sh.activeLo = pos
+		for pos < n && s.active[pos] < sh.hi {
+			pos++
+		}
+		sh.activeHi = pos
+	}
+
+	// Decide phase: all shards against the frozen state.
+	if nw := len(pe.shards); nw > 1 {
+		if !pe.started {
+			s.startWorkers()
+		}
+		pe.phaseWG.Add(nw - 1)
+		for w := 1; w < nw; w++ {
+			pe.start[w] <- struct{}{}
+		}
+		s.decideShard(&pe.shards[0])
+		pe.phaseWG.Wait()
+	} else {
+		s.decideShard(&pe.shards[0])
+	}
+	for k := range pe.shards {
+		if p := pe.shards[k].panicVal; p != nil {
+			pe.shards[k].panicVal = nil
+			panic(p)
+		}
+	}
+
+	// Commit phase: apply every shard's grants in ascending router-id
+	// order -- the exact order the serial allocator mutates state in.
+	for k := range pe.shards {
+		sh := &pe.shards[k]
+		i := 0
+		for _, h := range sh.hdr {
+			rt := &s.routers[h.router]
+			for j := int32(0); j < h.n; j++ {
+				s.commitGrant(h.router, rt, sh.recs[i])
+				i++
+			}
+		}
+	}
+
+	s.linkPhase()
+	s.pruneActive()
+}
+
+// decideShard runs the allocation decision logic for every active router
+// of one shard, recording grants into the shard scratch. Panics are
+// captured for re-raise on the main goroutine.
+func (s *Sim) decideShard(sh *shardState) {
+	defer func() {
+		if p := recover(); p != nil {
+			sh.panicVal = p
+		}
+	}()
+	sh.hdr = sh.hdr[:0]
+	sh.recs = sh.recs[:0]
+	for _, r := range s.active[sh.activeLo:sh.activeHi] {
+		rt := &s.routers[r]
+		if rt.flits == 0 {
+			continue
+		}
+		s.decideRouter(r, rt, sh)
+	}
+}
+
+// decideRouter is the read-only twin of allocate: the identical request
+// scan, bucketing and round-robin grant selection, but grants are recorded
+// instead of applied. It mutates nothing another shard could observe --
+// queue contents, occupancy, head caches, credits, staging and measurement
+// state are all commit-phase writes; the only in-place updates are the
+// router's own round-robin pointers and (for adaptive algorithms) draws
+// from its private PortRNG stream, neither visible outside the router.
+// TargetPort runs here, against the frozen state: implementations must be
+// read-only apart from idempotent mutations of the probed packet.
+//
+// This is the serial allocate (sim.go) in two halves; policy changes must
+// be mirrored between the two in lockstep -- the bit-parity wall
+// (TestGoldenResultsParallel and friends) enforces it.
+func (s *Sim) decideRouter(r int32, rt *router, sh *shardState) {
+	cfg := &s.cfg
+	deg := len(rt.nbr)
+	outputs := deg + len(rt.eps)
+
+	// Pass 1: one request per eligible input-queue head (see allocate).
+	cnt := sh.scrCnt[:outputs]
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	nreq := 0
+	if s.staticPorts {
+		cycle32 := int32(s.cycle)
+		for w, m := range rt.occ {
+			base := w << 6
+			for m != 0 {
+				q := base + bits.TrailingZeros64(m)
+				m &= m - 1
+				st := rt.headState[q]
+				if int32(uint32(st)) > cycle32 {
+					continue
+				}
+				out := int32(st >> 32)
+				sh.scrQ[nreq] = int32(q)
+				sh.scrOut[nreq] = out
+				cnt[out]++
+				nreq++
+			}
+		}
+	} else {
+		for w, m := range rt.occ {
+			base := w << 6
+			for m != 0 {
+				q := base + bits.TrailingZeros64(m)
+				m &= m - 1
+				pkt := rt.inQ[q].peek()
+				if int64(pkt.ReadyAt) > s.cycle {
+					continue
+				}
+				var out int32
+				if pkt.DstRouter == r {
+					out = int32(deg + int(s.epIdx[pkt.Dst]))
+				} else {
+					out = cfg.Algo.TargetPort(s, pkt, r)
+					if out < 0 || int(out) >= deg {
+						s.badTargetPort(r, pkt, out, deg)
+					}
+				}
+				sh.scrQ[nreq] = int32(q)
+				sh.scrOut[nreq] = out
+				cnt[out]++
+				nreq++
+			}
+		}
+	}
+	if nreq == 0 {
+		return
+	}
+
+	// Bucket by output, stable in input-queue order.
+	off := sh.scrOff[:outputs]
+	sum := int32(0)
+	for i := 0; i < outputs; i++ {
+		off[i] = sum
+		sum += cnt[i]
+	}
+	for k := 0; k < nreq; k++ {
+		o := sh.scrOut[k]
+		sh.scrBkt[off[o]] = sh.scrQ[k]
+		off[o]++
+	}
+
+	// Pass 2: per-output round-robin grant selection, with credit and
+	// staging consumption tracked as shard-local deltas.
+	recStart := len(sh.recs)
+	for out := 0; out < outputs; out++ {
+		ncand := int(cnt[out])
+		if ncand == 0 {
+			continue
+		}
+		bktStart := off[out] - cnt[out]
+		cand := sh.scrBkt[bktStart:off[out]]
+		grants := cfg.Speedup
+		if out >= deg {
+			grants = 1 // ejection channel: one flit per cycle
+		}
+		idx := int(rt.rr[out]) % ncand
+		granted := 0
+		for i := 0; i < ncand && granted < grants; i++ {
+			qi := int(cand[idx])
+			q := &rt.inQ[qi]
+			idx++
+			if idx == ncand {
+				idx = 0
+			}
+			if out >= deg {
+				sh.recs = append(sh.recs, grantRec{qi: int32(qi), out: int32(out)})
+				granted++
+				continue
+			}
+			if int(rt.outStaged[out])+int(sh.stageDelta[out]) >= cfg.Speedup {
+				break // output staging exhausted this cycle
+			}
+			var nextVC int8
+			if s.spreadVCs {
+				base := out * cfg.NumVCs
+				best := int16(-1)
+				for v := 0; v < cfg.NumVCs; v++ {
+					if c := rt.credits[base+v] - sh.credDelta[base+v]; c > best {
+						best = c
+						nextVC = int8(v)
+					}
+				}
+				if best == 0 {
+					continue
+				}
+			} else {
+				nextVC = q.peek().Hops
+				if int(nextVC) >= cfg.NumVCs {
+					nextVC = int8(cfg.NumVCs - 1)
+				}
+				if rt.credits[out*cfg.NumVCs+int(nextVC)]-sh.credDelta[out*cfg.NumVCs+int(nextVC)] == 0 {
+					continue
+				}
+			}
+			sh.credDelta[out*cfg.NumVCs+int(nextVC)]++
+			sh.stageDelta[out]++
+			sh.recs = append(sh.recs, grantRec{qi: int32(qi), out: int32(out), vc: nextVC})
+			granted++
+		}
+		rt.rr[out] = (rt.rr[out] + 1) % int32(ncand)
+	}
+
+	// Zero the touched deltas (bounded by the grants just recorded) and
+	// emit the router's header; no grants, no header.
+	nrec := len(sh.recs) - recStart
+	for i := recStart; i < len(sh.recs); i++ {
+		rec := sh.recs[i]
+		if int(rec.out) < deg {
+			sh.credDelta[int(rec.out)*cfg.NumVCs+int(rec.vc)] = 0
+			sh.stageDelta[rec.out] = 0
+		}
+	}
+	if nrec > 0 {
+		sh.hdr = append(sh.hdr, grantHdr{router: r, n: int32(nrec)})
+	}
+}
+
+// commitGrant applies one recorded grant exactly as the serial allocator
+// would have: dequeue and head-cache maintenance, upstream credit return,
+// then either endpoint delivery (ejection) or ReadyAt-stamped delivery
+// into the downstream input queue. Invoked in ascending router-id order
+// with grants in each router's decide order, it reproduces the serial
+// engine's state evolution bit for bit; the ReadyAt stamp regrows from
+// the replayed outStaged increments, matching the decide-phase deltas.
+func (s *Sim) commitGrant(r int32, rt *router, rec grantRec) {
+	cfg := &s.cfg
+	deg := len(rt.nbr)
+	qi := int(rec.qi)
+	q := &rt.inQ[qi]
+	out := int(rec.out)
+	if out >= deg {
+		// Eject: deliver to endpoint.
+		p := q.pop()
+		if q.empty() {
+			rt.clearOcc(qi)
+		} else {
+			s.setHead(rt, r, qi, q.peek())
+		}
+		rt.flits--
+		s.deliver(&p)
+		s.returnCredit(r, rt, qi)
+		return
+	}
+	p := q.pop()
+	if q.empty() {
+		rt.clearOcc(qi)
+	} else {
+		s.setHead(rt, r, qi, q.peek())
+	}
+	rt.flits--
+	s.returnCredit(r, rt, qi)
+	p.VC = rec.vc
+	p.Hops++
+	rt.credits[out*cfg.NumVCs+int(rec.vc)]--
+	depart := s.cycle + int64(rt.outStaged[out])
+	p.ReadyAt = int32(depart + int64(cfg.ChannelDelay) + int64(cfg.RouterDelay))
+	rt.outStaged[out]++
+	rt.staged++
+	dst := rt.nbr[out]
+	drt := &s.routers[dst]
+	dqi := int(rt.revPort[out])*cfg.NumVCs + int(rec.vc)
+	dq := &drt.inQ[dqi]
+	wasEmpty := dq.empty()
+	dq.push(p)
+	if wasEmpty {
+		drt.markOcc(dqi)
+		s.setHead(drt, dst, dqi, dq.peek())
+	}
+	drt.flits++
+	s.touch(dst)
+}

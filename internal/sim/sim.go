@@ -50,6 +50,16 @@ type Config struct {
 	Measure int // measured cycles
 	Drain   int // extra cycles to let measured packets drain
 
+	// Workers selects intra-simulation parallelism: routers are
+	// partitioned into that many contiguous shards and each cycle runs a
+	// parallel read-only decide phase (per-shard switch allocation against
+	// the frozen state) followed by an ordered commit phase. Results are
+	// bit-identical to the serial engine for every seed and every worker
+	// count (TestGoldenResultsParallel pins this). 0 keeps the serial
+	// path unchanged; 1 runs the phased engine on a single shard without
+	// spawning goroutines (the machinery minus the concurrency).
+	Workers int
+
 	Seed uint64
 }
 
@@ -162,6 +172,18 @@ type Sim struct {
 	// allocator scan from the per-router head cache.
 	staticPorts bool
 
+	// allocRNG holds one random stream per router for adaptive
+	// (non-static) algorithms' allocation-time draws, derived from the
+	// seed by repeated RNG jumps. Keying the streams by router id -- not
+	// by worker or shard -- makes every draw independent of the worker
+	// count and of allocation order across routers, which is what lets
+	// the parallel decide phase reproduce the serial engine bit for bit.
+	// nil for static-port algorithms (they never draw during allocation).
+	allocRNG []stats.RNG
+
+	// par is the sharded parallel engine state; nil when cfg.Workers == 0.
+	par *parEngine
+
 	// Port-indexed routing state, cached flat from cfg.Tables: the port at
 	// router u toward destination router d is nextPort[u*nRouters+d]
 	// (source-major, so one router's decisions share cache lines).
@@ -223,6 +245,9 @@ func New(cfg Config) (*Sim, error) {
 	}
 	if cfg.NumVCs < 1 || cfg.BufPerPort < cfg.NumVCs {
 		return nil, fmt.Errorf("sim: need at least 1 flit of buffering per VC")
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("sim: negative worker count %d", cfg.Workers)
 	}
 	// Packet cycle stamps (Birth, ReadyAt) are int32; reject windows that
 	// could reach them rather than silently wrapping mid-run. The margin
@@ -318,6 +343,21 @@ func New(cfg Config) (*Sim, error) {
 	for i := 0; i < wheel; i++ {
 		s.credWheel[i] = make([]creditEvt, 0, credCap)
 	}
+	if !s.staticPorts {
+		// Per-router allocation streams: stream r is the seed state jumped
+		// r+1 times (the un-jumped state is the injection stream; no
+		// consumer ever exhausts a 2^128-step segment, so the streams never
+		// overlap it or each other).
+		s.allocRNG = make([]stats.RNG, g.N())
+		jr := stats.NewRNG(cfg.Seed)
+		for r := 0; r < g.N(); r++ {
+			jr.Jump()
+			s.allocRNG[r] = *jr
+		}
+	}
+	if cfg.Workers > 0 {
+		s.par = newParEngine(s, cfg.Workers, maxQ, maxOutputs)
+	}
 	return s, nil
 }
 
@@ -348,8 +388,19 @@ func (s *Sim) QueueEstimate(r int32, port int) int {
 // Tables exposes the routing tables to routing algorithms.
 func (s *Sim) Tables() *route.Tables { return s.cfg.Tables }
 
-// RNG exposes the simulation RNG to routing algorithms.
+// RNG exposes the injection-phase RNG to routing algorithms: OnInject runs
+// serially in endpoint order, so its draws come from this single stream.
+// TargetPort implementations must not use it -- see PortRNG.
 func (s *Sim) RNG() *stats.RNG { return s.rng }
+
+// PortRNG returns router r's allocation-phase random stream, the only RNG
+// an adaptive algorithm may draw from inside TargetPort. The streams are
+// keyed by router id and derived from the seed by RNG jumps, so draws made
+// while deciding router r depend only on r's own history -- never on the
+// order routers are visited or on how they are sharded across workers.
+// Only available to adaptive algorithms (StaticPorts() == false); static
+// TargetPort implementations are pure by contract and must not draw at all.
+func (s *Sim) PortRNG(r int32) *stats.RNG { return &s.allocRNG[r] }
 
 // touch adds router r to the active worklist if it is not already on it.
 func (s *Sim) touch(r int32) {
@@ -380,6 +431,7 @@ func (s *Sim) setHead(rt *router, r int32, qi int, pkt *Packet) {
 
 // Run executes the configured simulation and returns the measurements.
 func (s *Sim) Run() Result {
+	defer s.Close() // stop any decide-phase workers when the run ends
 	cfg := s.cfg
 	active := 0
 	for e := 0; e < cfg.Topo.Endpoints(); e++ {
@@ -421,58 +473,13 @@ func (s *Sim) Run() Result {
 
 // step advances the simulation by one cycle.
 func (s *Sim) step(inject bool) {
-	cfg := &s.cfg
-	slot := int(s.cycle % int64(len(s.credWheel)))
-
-	// 1. Credit returns scheduled for this cycle. (No touch needed: a
-	// credit only matters to a router whose flit is blocked on it, and a
-	// router with buffered flits is already on the worklist.)
-	for _, c := range s.credWheel[slot] {
-		s.routers[c.router].credits[int(c.port)*cfg.NumVCs+int(c.vc)]++
+	if s.par != nil {
+		s.stepPhased(inject)
+		return
 	}
-	s.credWheel[slot] = s.credWheel[slot][:0]
-
-	// 2. Injection (Bernoulli per endpoint).
+	s.applyCredits()
 	if inject {
-		for e := range s.epRouter {
-			if !s.rng.Bernoulli(cfg.Load) {
-				continue
-			}
-			dst := cfg.Pattern.Dest(e, s.rng)
-			if dst < 0 {
-				continue
-			}
-			// Construct the packet in place in its source-queue slot: the
-			// slot pointer (into the heap-resident queue buffer) is what
-			// the OnInject interface call needs, so nothing escapes and
-			// nothing is copied.
-			r := s.epRouter[e]
-			rt := &s.routers[r]
-			qi := (len(rt.nbr) + int(s.epIdx[e])) * cfg.NumVCs
-			f := &rt.inQ[qi]
-			wasEmpty := f.empty()
-			pkt := f.pushTail()
-			*pkt = Packet{
-				Src:       int32(e),
-				Dst:       int32(dst),
-				DstRouter: s.epRouter[dst],
-				Interm:    -1,
-				Birth:     int32(s.cycle),
-				ReadyAt:   int32(s.cycle + 1),
-				Measured:  s.cycle >= int64(cfg.Warmup),
-			}
-			cfg.Algo.OnInject(s, pkt)
-			if wasEmpty {
-				rt.markOcc(qi)
-				s.setHead(rt, r, qi, pkt)
-			}
-			rt.flits++
-			s.touch(r)
-			if pkt.Measured {
-				s.injected++
-				s.inFlight++
-			}
-		}
+		s.injectPhase()
 	}
 
 	// The worklist accumulates routers in delivery/injection order; sort
@@ -491,12 +498,75 @@ func (s *Sim) step(inject bool) {
 		s.allocate(r, rt)
 	}
 
-	// 4. Link traversal: one flit departs per staged network output per
-	// cycle. The packets themselves were delivered downstream at grant
-	// time (allocate) with ReadyAt stamps encoding exactly this
-	// serialisation plus the channel and pipeline delays, so departure is
-	// pure counter bookkeeping here.
-	if s.collect && s.cycle >= int64(cfg.Warmup) && s.cycle < s.windowEnd {
+	s.linkPhase()
+	s.pruneActive()
+}
+
+// applyCredits performs step 1 of a cycle: credit returns scheduled for
+// this cycle. (No touch needed: a credit only matters to a router whose
+// flit is blocked on it, and a router with buffered flits is already on
+// the worklist.)
+func (s *Sim) applyCredits() {
+	slot := int(s.cycle % int64(len(s.credWheel)))
+	for _, c := range s.credWheel[slot] {
+		s.routers[c.router].credits[int(c.port)*s.cfg.NumVCs+int(c.vc)]++
+	}
+	s.credWheel[slot] = s.credWheel[slot][:0]
+}
+
+// injectPhase performs step 2 of a cycle: Bernoulli injection per endpoint,
+// serially in endpoint order on the main RNG stream (so injection draws are
+// identical whatever the worker count).
+func (s *Sim) injectPhase() {
+	cfg := &s.cfg
+	for e := range s.epRouter {
+		if !s.rng.Bernoulli(cfg.Load) {
+			continue
+		}
+		dst := cfg.Pattern.Dest(e, s.rng)
+		if dst < 0 {
+			continue
+		}
+		// Construct the packet in place in its source-queue slot: the
+		// slot pointer (into the heap-resident queue buffer) is what
+		// the OnInject interface call needs, so nothing escapes and
+		// nothing is copied.
+		r := s.epRouter[e]
+		rt := &s.routers[r]
+		qi := (len(rt.nbr) + int(s.epIdx[e])) * cfg.NumVCs
+		f := &rt.inQ[qi]
+		wasEmpty := f.empty()
+		pkt := f.pushTail()
+		*pkt = Packet{
+			Src:       int32(e),
+			Dst:       int32(dst),
+			DstRouter: s.epRouter[dst],
+			Interm:    -1,
+			Birth:     int32(s.cycle),
+			ReadyAt:   int32(s.cycle + 1),
+			Measured:  s.cycle >= int64(cfg.Warmup),
+		}
+		cfg.Algo.OnInject(s, pkt)
+		if wasEmpty {
+			rt.markOcc(qi)
+			s.setHead(rt, r, qi, pkt)
+		}
+		rt.flits++
+		s.touch(r)
+		if pkt.Measured {
+			s.injected++
+			s.inFlight++
+		}
+	}
+}
+
+// linkPhase performs step 4 of a cycle -- link traversal: one flit departs
+// per staged network output per cycle. The packets themselves were
+// delivered downstream at grant time (allocate) with ReadyAt stamps
+// encoding exactly this serialisation plus the channel and pipeline
+// delays, so departure is pure counter bookkeeping here.
+func (s *Sim) linkPhase() {
+	if s.collect && s.cycle >= int64(s.cfg.Warmup) && s.cycle < s.windowEnd {
 		for _, r := range s.active {
 			rt := &s.routers[r]
 			if rt.staged == 0 {
@@ -524,9 +594,11 @@ func (s *Sim) step(inject bool) {
 			}
 		}
 	}
+}
 
-	// Drop routers that went fully idle; the rest stay listed for the
-	// next cycle.
+// pruneActive drops routers that went fully idle; the rest stay listed for
+// the next cycle.
+func (s *Sim) pruneActive() {
 	kept := s.active[:0]
 	for _, r := range s.active {
 		rt := &s.routers[r]
@@ -553,6 +625,12 @@ func (s *Sim) badTargetPort(r int32, p *Packet, port int32, deg int) {
 // round-robin for fairness. Requests are gathered into per-output buckets
 // on the simulator's preallocated scratch (a stable counting sort by
 // output port), so the hot loop performs no heap allocation.
+//
+// The sharded engine runs this same logic split into decideRouter +
+// commitGrant (parallel.go). Any change to the allocation policy here --
+// eligibility, bucketing, grant order, VC selection, credit accounting --
+// must be mirrored there, and will otherwise fail the bit-parity wall
+// (TestGoldenResultsParallel and friends).
 func (s *Sim) allocate(r int32, rt *router) {
 	cfg := &s.cfg
 	deg := len(rt.nbr)

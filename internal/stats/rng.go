@@ -30,6 +30,32 @@ func NewRNG(seed uint64) *RNG {
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
+// jumpPoly is the xoshiro256 jump polynomial: applying it advances the
+// state by 2^128 steps of Uint64.
+var jumpPoly = [4]uint64{0x180ec6d33cfd0aba, 0xd5a61266f0c9392c, 0xa9582618e03fc9aa, 0x39abdc4529b1661c}
+
+// Jump advances the generator by 2^128 steps, equivalent to 2^128 calls to
+// Uint64. Repeated jumps from one seeded state carve the sequence into
+// non-overlapping streams (no realistic consumer draws 2^128 values), which
+// is how the simulator derives per-router random streams from a single
+// seed: stream k is the seed state jumped k times, independent of how the
+// routers are later partitioned across workers.
+func (r *RNG) Jump() {
+	var s0, s1, s2, s3 uint64
+	for _, j := range jumpPoly {
+		for b := uint(0); b < 64; b++ {
+			if j&(1<<b) != 0 {
+				s0 ^= r.s[0]
+				s1 ^= r.s[1]
+				s2 ^= r.s[2]
+				s3 ^= r.s[3]
+			}
+			r.Uint64()
+		}
+	}
+	r.s = [4]uint64{s0, s1, s2, s3}
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9

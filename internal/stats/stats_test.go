@@ -196,3 +196,48 @@ func TestNormFloat64Moments(t *testing.T) {
 		t.Errorf("normal variance = %v", variance)
 	}
 }
+
+// TestRNGJump pins the stream-derivation contract the parallel simulator
+// builds on: jumping is deterministic (two equal states jump to equal
+// states), a jumped stream diverges from its origin immediately, and
+// successive jumps from one seed yield pairwise-distinct streams -- the
+// per-router allocation streams must never collide.
+func TestRNGJump(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	a.Jump()
+	b.Jump()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Jump is not deterministic")
+		}
+	}
+
+	base := NewRNG(42)
+	jumped := NewRNG(42)
+	jumped.Jump()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if base.Uint64() == jumped.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("jumped stream collides with its origin in %d of 1000 draws", same)
+	}
+
+	// Distinct streams from successive jumps (the per-router scheme).
+	streams := make([]RNG, 8)
+	jr := NewRNG(7)
+	for i := range streams {
+		jr.Jump()
+		streams[i] = *jr
+	}
+	firsts := map[uint64]int{}
+	for i := range streams {
+		v := streams[i].Uint64()
+		if prev, dup := firsts[v]; dup {
+			t.Fatalf("streams %d and %d start identically", prev, i)
+		}
+		firsts[v] = i
+	}
+}

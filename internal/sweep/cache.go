@@ -77,6 +77,16 @@ func (c *Cache) Get(key string) (Entry, bool) {
 	return e, true
 }
 
+// Has reports whether an entry for key is present on disk, without
+// reading or validating it: a cheap existence probe for scheduling
+// decisions such as sizing the pending tail of a resumed sweep. (A
+// corrupt entry counts as present here; Get detects and deletes it, so
+// the job still recomputes.)
+func (c *Cache) Has(key string) bool {
+	_, err := os.Stat(c.path(key))
+	return err == nil
+}
+
 // Put stores entry under key atomically. The temp file lives in the cache
 // root (same filesystem as the final path) so the rename is atomic.
 func (c *Cache) Put(key string, e Entry) error {

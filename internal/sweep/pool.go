@@ -34,12 +34,45 @@ type Stats struct {
 type Options struct {
 	// Workers is the pool width; 0 means one per available core.
 	Workers int
+	// SimWorkers is the intra-simulation worker count applied to jobs
+	// whose config does not already request one (sim.Config.Workers): the
+	// sharded engine is bit-identical to the serial one, so raising it
+	// never changes results or cache keys, only wall-clock. 0 or 1 leaves
+	// jobs on the serial engine. See SplitParallelism for the heuristic
+	// that balances this against the pool width.
+	SimWorkers int
 	// Cache, when non-nil, short-circuits jobs whose key is already
 	// stored and records fresh results for future runs.
 	Cache *Cache
 	// OnDone, when non-nil, is called once per finished job, from worker
 	// goroutines (it must be safe for concurrent use).
 	OnDone func(index int, r JobResult)
+}
+
+// SplitParallelism divides ncores between the two levels of parallelism:
+// concurrent jobs (pool width) and intra-simulation shards per job. With
+// at least one job per core, sweep-level parallelism alone saturates the
+// machine with zero coordination cost, so simulations stay serial. With
+// fewer jobs than cores -- a handful of big networks, or the tail of a
+// sweep -- the spare cores go to intra-simulation sharding, capped at 8
+// per simulation (past that, the serial commit phase and the per-cycle
+// barrier dominate the shrinking decide slices). The split is safe to
+// apply blindly because worker counts never change results or cache keys.
+func SplitParallelism(njobs, ncores int) (poolWorkers, simWorkers int) {
+	if ncores < 1 {
+		ncores = 1
+	}
+	if njobs < 1 {
+		njobs = 1
+	}
+	if njobs >= ncores {
+		return ncores, 0
+	}
+	simWorkers = ncores / njobs
+	if simWorkers > 8 {
+		simWorkers = 8
+	}
+	return njobs, simWorkers
 }
 
 // Task is one executable unit for the low-level pool API: a descriptive
@@ -133,7 +166,7 @@ func RunTasks(ctx context.Context, tasks []Task, opts Options) ([]JobResult, Sta
 					if !ok {
 						break
 					}
-					results[idx] = runOne(tasks[idx], opts.Cache)
+					results[idx] = runOne(tasks[idx], opts.Cache, opts.SimWorkers)
 					reached[idx] = true
 					if opts.OnDone != nil {
 						opts.OnDone(idx, results[idx])
@@ -165,7 +198,10 @@ func RunTasks(ctx context.Context, tasks []Task, opts Options) ([]JobResult, Sta
 // runOne executes a single task: cache lookup, lazy build, simulate,
 // cache store. Panics from construction or simulation are converted into
 // failed results so one bad point cannot take down a long sweep.
-func runOne(t Task, cache *Cache) (jr JobResult) {
+// simWorkers applies intra-simulation sharding to configs that did not
+// request their own worker count; it affects wall-clock only, never the
+// result or the cache entry.
+func runOne(t Task, cache *Cache, simWorkers int) (jr JobResult) {
 	jr = JobResult{Job: t.Job, Key: t.Key}
 	defer func() {
 		if p := recover(); p != nil {
@@ -183,6 +219,9 @@ func runOne(t Task, cache *Cache) (jr JobResult) {
 	if err != nil {
 		jr.Err = err.Error()
 		return jr
+	}
+	if cfg.Workers == 0 && simWorkers > 1 {
+		cfg.Workers = simWorkers
 	}
 	start := time.Now()
 	res, err := sim.Run(cfg)

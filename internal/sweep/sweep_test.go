@@ -231,3 +231,68 @@ func TestProgress(t *testing.T) {
 		t.Error("empty progress line")
 	}
 }
+
+// TestSplitParallelism pins the core-splitting heuristic: sweeps with at
+// least one job per core saturate the machine with job-level parallelism
+// alone, undersubscribed sweeps hand the spare cores to intra-simulation
+// shards (capped at 8 per simulation), and degenerate inputs clamp sanely.
+func TestSplitParallelism(t *testing.T) {
+	cases := []struct {
+		jobs, cores       int
+		wantPool, wantSim int
+	}{
+		{100, 8, 8, 0}, // saturated: serial sims, full-width pool
+		{8, 8, 8, 0},   // exactly one job per core
+		{4, 8, 4, 2},   // undersubscribed: split evenly
+		{3, 8, 3, 2},   // uneven split rounds down
+		{1, 4, 1, 4},   // one big job gets the machine
+		{1, 64, 1, 8},  // per-sim shard cap
+		{0, 0, 1, 0},   // degenerate inputs clamp to one serial worker
+	}
+	for _, c := range cases {
+		pool, sim := SplitParallelism(c.jobs, c.cores)
+		if pool != c.wantPool || sim != c.wantSim {
+			t.Errorf("SplitParallelism(%d, %d) = (%d, %d), want (%d, %d)",
+				c.jobs, c.cores, pool, sim, c.wantPool, c.wantSim)
+		}
+		if sim > 0 && pool*sim > max(c.cores, 1) {
+			t.Errorf("SplitParallelism(%d, %d) oversubscribes: %d x %d cores",
+				c.jobs, c.cores, pool, sim)
+		}
+	}
+}
+
+// TestSimWorkersBitIdentical runs one small sweep serially and with
+// intra-simulation sharding forced on every job, and demands identical
+// results: the pool-level guarantee built on the engine's parity
+// contract, and the reason SimWorkers may be tuned (or auto-set) freely
+// without invalidating caches.
+func TestSimWorkersBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-backed; skipped in -short")
+	}
+	spec := &Spec{
+		Name:  "simworkers",
+		Topos: []TopoSpec{{Kind: "SF", Q: 5}},
+		Algos: []string{"min", "ugal-l"},
+		Loads: []float64{0.2, 0.4},
+		Sim:   SimParams{Warmup: 50, Measure: 100, Drain: 500},
+	}
+	serial, _, err := Run(context.Background(), spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, _, err := Run(context.Background(), spec, Options{SimWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		if serial[i].Err != "" || sharded[i].Err != "" {
+			t.Fatalf("job %d failed: %q / %q", i, serial[i].Err, sharded[i].Err)
+		}
+		if serial[i].Result != sharded[i].Result {
+			t.Errorf("job %d (%s): sharded result diverged:\n got  %#v\n want %#v",
+				i, serial[i].Job.Label(), sharded[i].Result, serial[i].Result)
+		}
+	}
+}
