@@ -1,21 +1,28 @@
 // Command sfsim runs a single network simulation and prints the result.
 // Topologies, routing algorithms and traffic patterns are resolved by name
 // through the scenario registry (internal/scenario), so sfsim accepts
-// exactly the names sweep specs and `sfsweep -list` do.
+// exactly the names sweep specs and `sfsweep -list` do; streaming metric
+// collectors are resolved the same way through the internal/metrics
+// registry (-metrics).
 //
 // Usage:
 //
 //	sfsim -topo SF -n 1000 -algo ugal-l -pattern uniform -load 0.5
 //	sfsim -topo SF -q 19 -p 18 -algo min -pattern worstcase -load 0.2 -sweep
+//	sfsim -algo ugal-l -load 0.7 -metrics latency,channels
+//	sfsim -algo min -sweep -metrics all -json > run.json
 //	sfsim -list
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"slices"
 
+	"slimfly/internal/metrics"
 	"slimfly/internal/scenario"
 	"slimfly/internal/sim"
 	"slimfly/internal/topo"
@@ -23,26 +30,29 @@ import (
 
 func main() {
 	var (
-		kind    = flag.String("topo", "SF", "topology kind (see -list)")
-		n       = flag.Int("n", 1000, "target endpoint count")
-		q       = flag.Int("q", 0, "exact Slim Fly order (overrides -n for SF)")
-		p       = flag.Int("p", 0, "Slim Fly concentration override (needs -q)")
-		algo    = flag.String("algo", "min", "routing algorithm (see -list)")
-		pattern = flag.String("pattern", "uniform", "traffic pattern (see -list)")
-		load    = flag.Float64("load", 0.5, "offered load per endpoint")
-		sweep   = flag.Bool("sweep", false, "sweep loads 0.1..0.9 instead of a single point")
-		warmup  = flag.Int("warmup", 2000, "warmup cycles")
-		measure = flag.Int("measure", 5000, "measured cycles")
-		bufSize = flag.Int("buf", 64, "flit buffering per port")
-		vcs     = flag.Int("vcs", 3, "virtual channels")
-		workers = flag.Int("workers", 0, "intra-simulation workers (0 = serial engine; any value gives bit-identical results)")
-		seed    = flag.Uint64("seed", 1, "seed")
-		list    = flag.Bool("list", false, "list registered topologies, algos and patterns")
+		kind       = flag.String("topo", "SF", "topology kind (see -list)")
+		n          = flag.Int("n", 1000, "target endpoint count")
+		q          = flag.Int("q", 0, "exact Slim Fly order (overrides -n for SF)")
+		p          = flag.Int("p", 0, "Slim Fly concentration override (needs -q)")
+		algo       = flag.String("algo", "min", "routing algorithm (see -list)")
+		pattern    = flag.String("pattern", "uniform", "traffic pattern (see -list)")
+		load       = flag.Float64("load", 0.5, "offered load per endpoint")
+		sweep      = flag.Bool("sweep", false, "sweep loads 0.1..0.9 instead of a single point")
+		warmup     = flag.Int("warmup", 2000, "warmup cycles")
+		measure    = flag.Int("measure", 5000, "measured cycles")
+		bufSize    = flag.Int("buf", 64, "flit buffering per port")
+		vcs        = flag.Int("vcs", 3, "virtual channels")
+		workers    = flag.Int("workers", 0, "intra-simulation workers (0 = serial engine; any value gives bit-identical results)")
+		metricsSel = flag.String("metrics", "", "streaming collectors, comma-separated (see -list; \"all\" selects every collector)")
+		jsonOut    = flag.Bool("json", false, "emit results (and metric summaries) as JSON instead of the text table")
+		seed       = flag.Uint64("seed", 1, "seed")
+		list       = flag.Bool("list", false, "list registered topologies, algos, patterns and collectors")
 	)
 	flag.Parse()
 
 	if *list {
 		fmt.Print(scenario.ListText())
+		fmt.Printf("collectors (-metrics):\n%s", metrics.Describe())
 		return
 	}
 
@@ -56,12 +66,16 @@ func main() {
 			Warmup: *warmup, Measure: *measure,
 			NumVCs: *vcs, BufPerPort: *bufSize,
 			Workers: *workers,
+			Metrics: *metricsSel,
 		},
 	}
 	spec.Topo = spec.Topo.Canonical()
 	if err := spec.Validate(); err != nil {
 		usage(err)
 	}
+	selected := metrics.ParseNames(*metricsSel)
+	hasLat := slices.Contains(selected, "latency")
+	hasChan := slices.Contains(selected, "channels")
 
 	// The memoised Env shares the topology, tables and pattern across the
 	// load sweep; only the load differs per run.
@@ -70,7 +84,9 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	fmt.Println(topo.Summary(t))
+	if !*jsonOut {
+		fmt.Println(topo.Summary(t))
+	}
 	if spec.Pattern == "worstcase" && !scenario.HasWorstCase(t) {
 		fmt.Fprintf(os.Stderr, "sfsim: no adversarial pattern for %s; worstcase falls back to uniform traffic\n", t.Name())
 	}
@@ -79,7 +95,26 @@ func main() {
 	if *sweep {
 		loads = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
 	}
-	fmt.Printf("%-6s %-12s %-10s %-9s %-9s\n", "load", "avg_latency", "accepted", "avg_hops", "saturated")
+
+	// One JSON record per load: the aggregate Result plus the structured
+	// collector summary (absent without -metrics).
+	type point struct {
+		Load    float64          `json:"load"`
+		Result  sim.Result       `json:"result"`
+		Metrics *metrics.Summary `json:"metrics,omitempty"`
+	}
+	var points []point
+
+	if !*jsonOut {
+		fmt.Printf("%-6s %-12s %-10s %-9s %-9s", "load", "avg_latency", "accepted", "avg_hops", "saturated")
+		if hasLat {
+			fmt.Printf(" %-8s %-8s %-8s", "p50", "p95", "p99")
+		}
+		if hasChan {
+			fmt.Printf(" %-9s", "max_util")
+		}
+		fmt.Println()
+	}
 	for _, l := range loads {
 		cfg, err := env.Config(spec, scenario.WithLoad(l))
 		var ie *scenario.IncompatibleError
@@ -89,11 +124,37 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		r, err := sim.Run(cfg)
+		r, sum, err := sim.RunSummary(cfg)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("%-6.2f %-12.2f %-10.4f %-9.3f %-9v\n", l, r.AvgLatency, r.Accepted, r.AvgHops, r.Saturated)
+		if *jsonOut {
+			points = append(points, point{Load: l, Result: r, Metrics: sum})
+			continue
+		}
+		fmt.Printf("%-6.2f %-12.2f %-10.4f %-9.3f %-9v", l, r.AvgLatency, r.Accepted, r.AvgHops, r.Saturated)
+		if hasLat {
+			p50, p95, p99 := 0.0, 0.0, 0.0
+			if sum != nil && sum.Latency != nil {
+				p50, p95, p99 = sum.Latency.P50, sum.Latency.P95, sum.Latency.P99
+			}
+			fmt.Printf(" %-8.1f %-8.1f %-8.1f", p50, p95, p99)
+		}
+		if hasChan {
+			mu := 0.0
+			if sum != nil && sum.Channels != nil {
+				mu = sum.Channels.MaxUtil
+			}
+			fmt.Printf(" %-9.4f", mu)
+		}
+		fmt.Println()
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(points); err != nil {
+			fail(err)
+		}
 	}
 }
 

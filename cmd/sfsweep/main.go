@@ -30,25 +30,28 @@ import (
 	"time"
 
 	"slimfly/internal/export"
+	"slimfly/internal/metrics"
 	"slimfly/internal/scenario"
 	"slimfly/internal/sweep"
 )
 
 func main() {
 	var (
-		specPath = flag.String("spec", "", "sweep spec file (JSON object or array; '-' for stdin)")
-		outDir   = flag.String("out", "sweep-out", "artifact directory")
-		cacheDir = flag.String("cache", "", "result cache directory (default <out>/cache)")
-		workers  = flag.Int("workers", 0, "core budget for the pool (default: one per core)")
-		simW     = flag.Int("sim-workers", 0, "intra-simulation workers per job (0 = auto: split the core budget between concurrent jobs and shards; results are identical either way)")
-		interval = flag.Duration("progress", 2*time.Second, "progress report interval (0 disables)")
-		dryRun   = flag.Bool("dry-run", false, "print the expanded job list and exit")
-		noCache  = flag.Bool("no-cache", false, "execute every job, ignoring and not writing the cache")
-		list     = flag.Bool("list", false, "list registered topologies, algos and patterns")
+		specPath   = flag.String("spec", "", "sweep spec file (JSON object or array; '-' for stdin)")
+		outDir     = flag.String("out", "sweep-out", "artifact directory")
+		cacheDir   = flag.String("cache", "", "result cache directory (default <out>/cache)")
+		workers    = flag.Int("workers", 0, "core budget for the pool (default: one per core)")
+		simW       = flag.Int("sim-workers", 0, "intra-simulation workers per job (0 = auto: split the core budget between concurrent jobs and shards; results are identical either way)")
+		metricsSel = flag.String("metrics", "", "streaming collectors for every job, comma-separated (overrides the specs' sim.metrics; \"all\" selects every collector)")
+		interval   = flag.Duration("progress", 2*time.Second, "progress report interval (0 disables)")
+		dryRun     = flag.Bool("dry-run", false, "print the expanded job list and exit")
+		noCache    = flag.Bool("no-cache", false, "execute every job, ignoring and not writing the cache")
+		list       = flag.Bool("list", false, "list registered topologies, algos, patterns and collectors")
 	)
 	flag.Parse()
 	if *list {
 		fmt.Print(scenario.ListText())
+		fmt.Printf("collectors (-metrics / sim.metrics):\n%s", metrics.Describe())
 		return
 	}
 	if *specPath == "" {
@@ -59,6 +62,17 @@ func main() {
 	specs, err := readSpecs(*specPath)
 	if err != nil {
 		fail(err)
+	}
+	if *metricsSel != "" {
+		// The selection is part of each job's cache key (different
+		// collector output, different cache slot), so the override happens
+		// before expansion and is re-validated with it.
+		if err := metrics.CheckNames(*metricsSel); err != nil {
+			fail(err)
+		}
+		for _, s := range specs {
+			s.Sim.Metrics = *metricsSel
+		}
 	}
 	jobs, err := sweep.ExpandAll(specs)
 	if err != nil {
@@ -189,7 +203,9 @@ func readSpecs(path string) ([]*sweep.Spec, error) {
 }
 
 // writeArtifacts writes results.json (full artifact: specs, stats, per-job
-// results) and results.csv (finished jobs only) into dir.
+// results, metric summaries) and results.csv (finished jobs only) into
+// dir, plus channels.csv (per-job hottest channels) when any job ran the
+// channels collector.
 func writeArtifacts(dir string, specs []*sweep.Spec, results []sweep.JobResult, stats sweep.Stats) error {
 	art := export.SweepArtifact{Stats: stats, Results: finished(results)}
 	if len(specs) == 1 {
@@ -214,7 +230,29 @@ func writeArtifacts(dir string, specs []*sweep.Spec, results []sweep.JobResult, 
 		cf.Close()
 		return err
 	}
-	return cf.Close()
+	if err := cf.Close(); err != nil {
+		return err
+	}
+	for _, r := range art.Results {
+		if r.Metrics != nil && r.Metrics.Channels != nil {
+			hf, err := os.Create(filepath.Join(dir, "channels.csv"))
+			if err != nil {
+				return err
+			}
+			if err := export.WriteChannelsCSV(hf, art.Results); err != nil {
+				hf.Close()
+				return err
+			}
+			return hf.Close()
+		}
+	}
+	// No channel data this run: drop any channels.csv a previous sweep
+	// left in the directory, so the artifact set is always internally
+	// consistent.
+	if err := os.Remove(filepath.Join(dir, "channels.csv")); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
 }
 
 // finished filters out the zero-valued slots of jobs never reached before

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"slimfly/internal/metrics"
 	"slimfly/internal/route"
 	"slimfly/internal/scenario"
 	"slimfly/internal/sim"
@@ -98,13 +99,14 @@ type runSpec struct {
 }
 
 // runAll executes the specs on the sweep engine's work-stealing pool and
-// returns results in order. The networks and patterns are pre-built, so
-// the tasks carry closures rather than declarative jobs; the per-index
-// seed scheme keeps results bit-identical to sequential execution, and
+// returns results (and, when metricsSel names collectors, the structured
+// summaries) in order. The networks and patterns are pre-built, so the
+// tasks carry closures rather than declarative jobs; the per-index seed
+// scheme keeps results bit-identical to sequential execution, and
 // perfOptions may additionally shard each simulation across spare cores
-// (the sharded engine is bit-identical too, so figures never depend on
-// the machine's core count).
-func runAll(specs []runSpec, sc PerfScale, seed uint64) []sim.Result {
+// (the sharded engine -- collectors included -- is bit-identical too, so
+// figures never depend on the machine's core count).
+func runAll(specs []runSpec, sc PerfScale, seed uint64, metricsSel string) ([]sim.Result, []*metrics.Summary) {
 	tasks := make([]sweep.Task, len(specs))
 	for i := range specs {
 		i := i
@@ -113,7 +115,8 @@ func runAll(specs []runSpec, sc PerfScale, seed uint64) []sim.Result {
 				Topo: specs[i].tp, Tables: specs[i].tb, Algo: specs[i].algo,
 				Pattern: specs[i].pattern, Load: specs[i].load,
 				Warmup: sc.Warmup, Measure: sc.Measure, Drain: sc.Drain,
-				Seed: seed + uint64(i)*7919,
+				Metrics: metricsSel,
+				Seed:    seed + uint64(i)*7919,
 			}, nil
 		}}
 	}
@@ -122,13 +125,15 @@ func runAll(specs []runSpec, sc PerfScale, seed uint64) []sim.Result {
 		panic(err)
 	}
 	results := make([]sim.Result, len(specs))
+	sums := make([]*metrics.Summary, len(specs))
 	for i, jr := range jrs {
 		if jr.Err != "" {
 			panic(jr.Err)
 		}
 		results[i] = jr.Result
+		sums[i] = jr.Metrics
 	}
-	return results
+	return results, sums
 }
 
 // perfOptions is the experiment pool configuration: the machine's cores
@@ -141,9 +146,10 @@ func perfOptions(njobs int) sweep.Options {
 }
 
 // runConfigs executes fully built simulator configurations on the sweep
-// pool and returns results in order; used by the experiments whose knobs
-// (buffer depth, oversubscription) live outside the runSpec shape.
-func runConfigs(cfgs []sim.Config) []sim.Result {
+// pool and returns results and summaries in order; used by the
+// experiments whose knobs (buffer depth, oversubscription, collector
+// selection) live outside the runSpec shape.
+func runConfigs(cfgs []sim.Config) ([]sim.Result, []*metrics.Summary) {
 	tasks := make([]sweep.Task, len(cfgs))
 	for i := range cfgs {
 		cfg := cfgs[i]
@@ -154,13 +160,15 @@ func runConfigs(cfgs []sim.Config) []sim.Result {
 		panic(err)
 	}
 	results := make([]sim.Result, len(cfgs))
+	sums := make([]*metrics.Summary, len(cfgs))
 	for i, jr := range jrs {
 		if jr.Err != "" {
 			panic(jr.Err)
 		}
 		results[i] = jr.Result
+		sums[i] = jr.Metrics
 	}
-	return results
+	return results, sums
 }
 
 // patternFor builds the per-topology traffic pattern for a Figure 6
@@ -176,12 +184,15 @@ func (p *perfNetworks) patternFor(name string, tp topo.Topology, tb *route.Table
 // Fig6 reproduces one subfigure of Figure 6 (a: uniform, b: bitrev,
 // c: shift, d: worstcase): latency and accepted throughput versus offered
 // load for SF-MIN, SF-VAL, SF-UGAL-L, SF-UGAL-G, DF-UGAL-L and FT-ANCA.
+// The tail columns (P50/P99) come from the streaming latency histogram --
+// the paper's latency-vs-load curves are means, but the tail is where the
+// protocols separate first.
 func Fig6(pattern string, sc PerfScale, seed uint64) *Table {
 	nets := buildPerfNetworks(sc, seed)
 	t := &Table{
 		Title: fmt.Sprintf("Figure 6 (%s): latency vs offered load [SF N=%d, DF N=%d, FT N=%d]",
 			pattern, nets.sf.Endpoints(), nets.df.Endpoints(), nets.ft.Endpoints()),
-		Columns: []string{"protocol", "load", "avg_latency", "accepted", "avg_hops", "saturated"},
+		Columns: []string{"protocol", "load", "avg_latency", "accepted", "avg_hops", "saturated", "p50", "p99"},
 	}
 	// One network bundle per kind; patterns are read-only during
 	// simulation and the adversarial ones are expensive to derive, so
@@ -209,9 +220,13 @@ func Fig6(pattern string, sc PerfScale, seed uint64) *Table {
 			specs = append(specs, runSpec{pr.Label, nb.tp, nb.tb, algo, nb.pat, load})
 		}
 	}
-	results := runAll(specs, sc, seed)
+	results, sums := runAll(specs, sc, seed, "latency")
 	for i, r := range results {
-		t.Add(specs[i].label, specs[i].load, r.AvgLatency, r.Accepted, r.AvgHops, r.Saturated)
+		var p50, p99 float64
+		if sums[i] != nil && sums[i].Latency != nil {
+			p50, p99 = sums[i].Latency.P50, sums[i].Latency.P99
+		}
+		t.Add(specs[i].label, specs[i].load, r.AvgLatency, r.Accepted, r.AvgHops, r.Saturated, p50, p99)
 	}
 	return t
 }
@@ -224,7 +239,7 @@ func Fig8a(sc PerfScale, seed uint64) *Table {
 	wc := sf.WorstCase(tb, seed)
 	t := &Table{
 		Title:   fmt.Sprintf("Figure 8a: buffer-size study (worst-case traffic, SF N=%d, UGAL-L)", sf.Endpoints()),
-		Columns: []string{"buffer_flits", "load", "avg_latency", "accepted"},
+		Columns: []string{"buffer_flits", "load", "avg_latency", "accepted", "max_chan_util"},
 	}
 	type point struct {
 		buf  int
@@ -238,12 +253,21 @@ func Fig8a(sc PerfScale, seed uint64) *Table {
 			cfgs = append(cfgs, sim.Config{
 				Topo: sf, Tables: tb, Algo: sim.UGALL{}, Pattern: wc, Load: load,
 				BufPerPort: buf, Warmup: sc.Warmup, Measure: sc.Measure, Drain: sc.Drain,
-				Seed: seed,
+				// The buffer study runs adversarial traffic; the channel
+				// collector makes the induced hotspot itself part of the
+				// table instead of a private engine tally.
+				Metrics: "channels",
+				Seed:    seed,
 			})
 		}
 	}
-	for i, r := range runConfigs(cfgs) {
-		t.Add(pts[i].buf, pts[i].load, r.AvgLatency, r.Accepted)
+	results, sums := runConfigs(cfgs)
+	for i, r := range results {
+		var maxUtil float64
+		if sums[i] != nil && sums[i].Channels != nil {
+			maxUtil = sums[i].Channels.MaxUtil
+		}
+		t.Add(pts[i].buf, pts[i].load, r.AvgLatency, r.Accepted, maxUtil)
 	}
 	return t
 }
@@ -293,7 +317,8 @@ func Fig8be(sc PerfScale, seed uint64) *Table {
 			}
 		}
 	}
-	for i, r := range runConfigs(cfgs) {
+	results, _ := runConfigs(cfgs)
+	for i, r := range results {
 		t.Add(pts[i].p, pts[i].pat, pts[i].algo, pts[i].load, r.AvgLatency, r.Accepted)
 	}
 	return t

@@ -1,0 +1,384 @@
+// Package metrics is the simulator's streaming measurement pipeline: a
+// small Collector interface with fixed-signature observe hooks, a registry
+// of named stock collectors, and a structured, mergeable Summary.
+//
+// Collectors replace the old Result/DetailedResult split: instead of the
+// engine appending one float per delivered packet and sorting at the end,
+// every collector keeps a fixed-footprint streaming aggregate (histogram
+// buckets, per-channel counters, per-interval counters, per-source
+// counters) that is allocated once at Attach time and only incremented
+// during the run -- the observe hooks are zero-allocation by construction,
+// which is what lets the engines keep their steady-state zero-alloc
+// contract (sim.TestStepZeroAlloc) with collectors enabled.
+//
+// # Shard-merge determinism
+//
+// The sharded engine (sim.Config.Workers > 0) gives every shard its own
+// collector instances and folds them with Merge when the run ends. Merged
+// summaries are bit-identical to a serial run's because every stock
+// collector's state is a partition-insensitive aggregate -- counter sums,
+// bucket counts, elementwise series sums and maxima -- and the engine
+// assigns each observation to the shard owning the router it occurred at,
+// so the multiset of observations per instance is deterministic and their
+// fold is exact integer arithmetic (no float accumulation order to drift).
+// Custom collectors must preserve that property: Merge must be associative
+// and commutative, and Summarize must depend only on the merged state
+// (sim.TestCollectorParityParallel pins it for the stock set).
+//
+// # Hook contract
+//
+// The engine calls the hooks with these windows (warmup W, measurement M):
+//
+//   - Inject(src, cycle): one call per measured packet injection; always
+//     W <= cycle < W+M by construction.
+//   - Hop(router, port, cycle): one call per flit departing on a network
+//     channel inside the measurement window.
+//   - Deliver(src, hops, latency, cycle): one call per measured packet
+//     delivery, including deliveries during the drain (cycle >= W+M), so
+//     latency aggregates cover exactly the population behind
+//     Result.AvgLatency.
+//   - Cycle(cycle): once per measurement-window cycle, after link
+//     traversal, on the home instance only (it must therefore not feed
+//     per-shard state; the stock collectors derive time axes from the
+//     cycle stamps of the other hooks instead).
+//
+// All hooks run on the simulator's stepping goroutine in both engines;
+// collectors need no internal locking.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Meta describes the simulated system to a collector at Attach time; it is
+// everything a fixed-footprint collector needs to size its state.
+type Meta struct {
+	Routers   int
+	Endpoints int
+	// Degrees[r] is router r's network (non-ejection) port count; Hop
+	// observations for router r carry ports in [0, Degrees[r]).
+	Degrees []int32
+	NumVCs  int
+	Warmup  int64
+	Measure int64
+}
+
+// WindowEnd returns the first cycle after the measurement window.
+func (m Meta) WindowEnd() int64 { return m.Warmup + m.Measure }
+
+// Collector is one streaming metric. Implementations allocate all state
+// in Attach and observe the run through the fixed-signature hook
+// interfaces below, implementing exactly the ones they consume -- the Set
+// fans each observation out only to its observers, so a hook nobody
+// watches costs nothing in the engine hot path (~10^4 observations per
+// cycle make per-call dispatch the dominant pipeline cost). Hook bodies
+// must not allocate. Merge folds another instance of the same concrete
+// type in (panicking on a type mismatch) and must be associative and
+// commutative; Clone returns a fresh, unattached instance of the same
+// configuration (the sharded engine clones one instance per shard);
+// Summarize writes the collector's section of the shared Summary.
+type Collector interface {
+	Name() string
+	Attach(m Meta)
+	Merge(other Collector)
+	Clone() Collector
+	Summarize(out *Summary)
+}
+
+// InjectObserver receives one call per measured packet injection.
+type InjectObserver interface {
+	Inject(src int32, cycle int64)
+}
+
+// HopObserver receives one call per flit departing on a network channel
+// inside the measurement window.
+type HopObserver interface {
+	Hop(router, port int32, cycle int64)
+}
+
+// DeliverObserver receives one call per measured packet delivery
+// (including drain-phase deliveries).
+type DeliverObserver interface {
+	Deliver(src, hops int32, latency, cycle int64)
+}
+
+// CycleObserver receives one call per measurement-window cycle, on the
+// home instance only.
+type CycleObserver interface {
+	Cycle(cycle int64)
+}
+
+// Summary is the structured result of a collector set: one optional
+// section per stock collector kind. It marshals to stable JSON (sections
+// are structs and ordered slices, never maps), so byte-equality of encoded
+// summaries is a meaningful parity check.
+type Summary struct {
+	Latency  *LatencyStats  `json:"latency,omitempty"`
+	Channels *ChannelStats  `json:"channels,omitempty"`
+	Series   *SeriesStats   `json:"series,omitempty"`
+	Fairness *FairnessStats `json:"fairness,omitempty"`
+}
+
+// Set is an ordered collection of collectors driven as one. Each hook
+// fans out to the collectors that observe it (capability sub-slices,
+// computed once at construction), in registration order.
+type Set struct {
+	cs  []Collector
+	inj []InjectObserver
+	hop []HopObserver
+	del []DeliverObserver
+	cyc []CycleObserver
+}
+
+// SetOf builds a set from explicit collector instances (the registry-free
+// path; NewSet resolves names instead).
+func SetOf(cs ...Collector) *Set {
+	s := &Set{cs: cs}
+	for _, c := range cs {
+		if o, ok := c.(InjectObserver); ok {
+			s.inj = append(s.inj, o)
+		}
+		if o, ok := c.(HopObserver); ok {
+			s.hop = append(s.hop, o)
+		}
+		if o, ok := c.(DeliverObserver); ok {
+			s.del = append(s.del, o)
+		}
+		if o, ok := c.(CycleObserver); ok {
+			s.cyc = append(s.cyc, o)
+		}
+	}
+	return s
+}
+
+// Collectors exposes the set's instances in order.
+func (s *Set) Collectors() []Collector { return s.cs }
+
+// ObservesHops reports whether any collector consumes Hop observations.
+// The engine's link phase is the hottest observe site (one call per
+// staged port per cycle), so it falls back to its uninstrumented loop
+// when nothing would listen.
+func (s *Set) ObservesHops() bool { return len(s.hop) > 0 }
+
+// Attach sizes every collector for the described system.
+func (s *Set) Attach(m Meta) {
+	for _, c := range s.cs {
+		c.Attach(m)
+	}
+}
+
+// Inject fans the injection observation out to its observers.
+func (s *Set) Inject(src int32, cycle int64) {
+	for _, c := range s.inj {
+		c.Inject(src, cycle)
+	}
+}
+
+// Hop fans the channel-departure observation out to its observers.
+func (s *Set) Hop(router, port int32, cycle int64) {
+	for _, c := range s.hop {
+		c.Hop(router, port, cycle)
+	}
+}
+
+// Deliver fans the delivery observation out to its observers.
+func (s *Set) Deliver(src, hops int32, latency, cycle int64) {
+	for _, c := range s.del {
+		c.Deliver(src, hops, latency, cycle)
+	}
+}
+
+// Cycle fans the per-cycle tick out to its observers.
+func (s *Set) Cycle(cycle int64) {
+	for _, c := range s.cyc {
+		c.Cycle(cycle)
+	}
+}
+
+// Clone returns a set of fresh, unattached instances mirroring this one.
+func (s *Set) Clone() *Set {
+	cs := make([]Collector, len(s.cs))
+	for i, c := range s.cs {
+		cs[i] = c.Clone()
+	}
+	return SetOf(cs...)
+}
+
+// Merge folds other's collectors into this set's, pairwise in order. The
+// sets must be clones of one another.
+func (s *Set) Merge(other *Set) {
+	if len(s.cs) != len(other.cs) {
+		panic(fmt.Sprintf("metrics: merging sets of %d and %d collectors", len(s.cs), len(other.cs)))
+	}
+	for i, c := range s.cs {
+		c.Merge(other.cs[i])
+	}
+}
+
+// Summary builds the set's structured summary.
+func (s *Set) Summary() Summary {
+	var out Summary
+	for _, c := range s.cs {
+		c.Summarize(&out)
+	}
+	return out
+}
+
+// mismatch reports a Merge across concrete collector types.
+func mismatch(name string, other Collector) string {
+	return fmt.Sprintf("metrics: merging %s with %s (%T)", name, other.Name(), other)
+}
+
+// --- registry ---------------------------------------------------------
+
+// entry is one registered collector: its factory and the description the
+// CLIs' -list output shows (travelling with the registration, like the
+// scenario registry's defs).
+type entry struct {
+	desc    string
+	factory func() Collector
+}
+
+// registry holds the named collector entries in registration order.
+// Registration happens from init (stock collectors) or program setup
+// (custom ones); lookups are concurrent.
+var reg = struct {
+	mu    sync.RWMutex
+	order []string
+	m     map[string]entry
+}{m: make(map[string]entry)}
+
+// Register adds a named collector factory with a one-line description
+// (shown by the CLIs' -list output); sweep specs and the -metrics CLI
+// flags select collectors by these names. It panics on duplicate or
+// empty names (registration is a programming error, not a runtime
+// condition).
+func Register(name, desc string, factory func() Collector) {
+	if name == "" {
+		panic("metrics: registering empty collector name")
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, dup := reg.m[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate collector %q", name))
+	}
+	reg.m[name] = entry{desc: desc, factory: factory}
+	reg.order = append(reg.order, name)
+}
+
+// Names lists the registered collector names in registration order.
+func Names() []string {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	return append([]string(nil), reg.order...)
+}
+
+// UnknownError names an unregistered collector and enumerates the valid
+// names, matching the scenario registry's error style.
+type UnknownError struct {
+	Name  string
+	Known []string
+}
+
+func (e *UnknownError) Error() string {
+	return fmt.Sprintf("metrics: unknown collector %q (known: %s)", e.Name, strings.Join(e.Known, " "))
+}
+
+// New builds a fresh collector by registered name.
+func New(name string) (Collector, error) {
+	reg.mu.RLock()
+	e, ok := reg.m[name]
+	reg.mu.RUnlock()
+	if !ok {
+		return nil, &UnknownError{Name: name, Known: Names()}
+	}
+	return e.factory(), nil
+}
+
+// ParseNames splits a comma-separated collector selection ("latency,
+// channels") into trimmed names, dropping empties. "all" expands to every
+// registered collector.
+func ParseNames(spec string) []string {
+	if strings.TrimSpace(spec) == "all" {
+		return Names()
+	}
+	var names []string
+	for _, n := range strings.Split(spec, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// CheckNames validates a comma-separated collector selection without
+// building anything; unknown names fail with the valid set enumerated.
+// (ParseNames runs before the lock is taken: expanding "all" reads the
+// registry itself, and nesting that read inside a held RLock would
+// deadlock against a concurrent Register.)
+func CheckNames(spec string) error {
+	for _, n := range ParseNames(spec) {
+		reg.mu.RLock()
+		_, ok := reg.m[n]
+		reg.mu.RUnlock()
+		if !ok {
+			return &UnknownError{Name: n, Known: Names()}
+		}
+	}
+	return nil
+}
+
+// NewSet resolves a comma-separated collector selection into a fresh set.
+// An empty spec yields an empty set.
+func NewSet(spec string) (*Set, error) {
+	names := ParseNames(spec)
+	cs := make([]Collector, 0, len(names))
+	for _, n := range names {
+		c, err := New(n)
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, c)
+	}
+	return SetOf(cs...), nil
+}
+
+func init() {
+	Register("latency", "log-bucketed latency histogram: P50/P95/P99 (nearest-rank), min/max/mean",
+		func() Collector { return NewLatencyHist() })
+	Register("channels", "per-directed-channel flit counts: max/mean utilisation, hottest channels",
+		func() Collector { return NewChannelLoads(DefaultTopChannels) })
+	Register("series", "per-interval delivered/injected/occupancy time series over the window",
+		func() Collector { return NewSeries(0) })
+	Register("fairness", "per-source delivery counts: Jain index, worst-source latency",
+		func() Collector { return NewFairness() })
+}
+
+// Describe returns one "name: description" line per registered collector,
+// for -list style CLI output.
+func Describe() string {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	var b strings.Builder
+	for _, n := range reg.order {
+		fmt.Fprintf(&b, "  %-10s %s\n", n, reg.m[n].desc)
+	}
+	return b.String()
+}
+
+// sortChannels orders loads by flits descending, ties broken by (router,
+// port) ascending so summaries are deterministic.
+func sortChannels(loads []ChannelLoad) {
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].Flits != loads[j].Flits {
+			return loads[i].Flits > loads[j].Flits
+		}
+		if loads[i].Router != loads[j].Router {
+			return loads[i].Router < loads[j].Router
+		}
+		return loads[i].Port < loads[j].Port
+	})
+}

@@ -114,6 +114,12 @@ func WithSim(p SimParams) Option { return func(s *Spec) { s.Sim = p } }
 // knob does not enter the scenario's cache key.
 func WithWorkers(n int) Option { return func(s *Spec) { s.Sim.Workers = n } }
 
+// WithMetrics overrides the streaming-collector selection (comma-separated
+// internal/metrics registry names). Unlike Workers this IS part of the
+// scenario's cache key: it decides what summary payload a cached entry
+// carries.
+func WithMetrics(sel string) Option { return func(s *Spec) { s.Sim.Metrics = sel } }
+
 // Config resolves spec s (with opts applied to a copy) into a runnable
 // simulator configuration: topology and tables from the memoised builds,
 // algorithm and pattern by registry name.
@@ -141,6 +147,7 @@ func (e *Env) Config(s Spec, opts ...Option) (sim.Config, error) {
 		CreditDelay: p.CreditDelay, Speedup: p.Speedup,
 		Warmup: p.Warmup, Measure: p.Measure, Drain: p.Drain,
 		Workers: p.Workers,
+		Metrics: p.Metrics,
 		Seed:    s.Seed,
 	}, nil
 }

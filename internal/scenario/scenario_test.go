@@ -146,9 +146,11 @@ func TestSpecJSONRoundTrip(t *testing.T) {
 	}
 }
 
-// TestKeyGolden pins two content addresses computed by the sweep engine
-// before the Key machinery moved into this package: moving it must not
-// invalidate existing on-disk sweep caches.
+// TestKeyGolden pins two content addresses so the key machinery cannot
+// drift silently. The values were deliberately re-pinned for the
+// slimfly-sweep-v2 format bump (cache entries grew an optional
+// metrics.Summary payload; v1 Result-only entries must become
+// unreachable, not be served for jobs expecting collector output).
 func TestKeyGolden(t *testing.T) {
 	cases := []struct {
 		spec scenario.Spec
@@ -160,20 +162,65 @@ func TestKeyGolden(t *testing.T) {
 				Algo: "min", Pattern: "uniform", Load: 0.1, Seed: 1,
 				Sim: scenario.SimParams{Warmup: 50, Measure: 100, Drain: 500},
 			},
-			"91021a853e8468eee43f1474d2d6c8f8a89db2aea1cebed03e28e4f1d25552d4",
+			"37ab43a6eeb69e8488bcc91b94a0473b83e5cffdb47177142223135fb24c9279",
 		},
 		{
 			scenario.Spec{
 				Topo: scenario.TopoSpec{Kind: "DF", N: 1000, Seed: 3},
 				Algo: "ugal-l", Pattern: "worstcase", Load: 0.45, Seed: 7,
 			},
-			"e90a43dd56a8469108b36daf4395dfacdaf991636259440f2f4b5ab147152389",
+			"e9a3a58dda2d7b61cee6c510c0175e6c666587374f95a274bf5bb9c995410ad7",
 		},
 	}
 	for _, c := range cases {
 		if got := c.spec.Key(); got != c.want {
 			t.Errorf("%s: Key() = %s, want %s (encoding changed: bump CacheFormat)", c.spec.Label(), got, c.want)
 		}
+	}
+}
+
+// TestMetricsKnob pins the cache-identity contract of SimParams.Metrics:
+// unlike Workers, the collector selection changes the content address
+// (the cached payload differs), while an empty selection leaves the
+// encoding identical to a pre-pipeline spec.
+func TestMetricsKnob(t *testing.T) {
+	base := scenario.Spec{
+		Topo: scenario.TopoSpec{Kind: "SF", Q: 5},
+		Algo: "min", Pattern: "uniform", Load: 0.1, Seed: 1,
+		Sim: scenario.SimParams{Warmup: 10, Measure: 20, Drain: 100},
+	}
+	withM := base
+	withM.Sim.Metrics = "latency,channels"
+	if withM.Key() == base.Key() {
+		t.Error("Metrics selection did not change the cache key")
+	}
+	enc, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(enc), "metrics") {
+		t.Errorf("empty Metrics leaked into the encoding: %s", enc)
+	}
+	if err := withM.Validate(); err != nil {
+		t.Errorf("valid collector names rejected: %v", err)
+	}
+	bad := base
+	bad.Sim.Metrics = "latency,bogus"
+	err = bad.Validate()
+	if err == nil {
+		t.Fatal("unknown collector name passed Validate")
+	}
+	if !strings.Contains(err.Error(), "bogus") || !strings.Contains(err.Error(), "latency") {
+		t.Errorf("unknown-collector error does not enumerate names: %v", err)
+	}
+
+	env := scenario.NewEnv()
+	cfg, err := env.Config(base, scenario.WithMetrics("fairness"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Metrics != "fairness" {
+		t.Errorf("WithMetrics not applied: %q", cfg.Metrics)
 	}
 }
 

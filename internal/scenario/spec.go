@@ -6,13 +6,20 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"slimfly/internal/metrics"
 )
 
 // CacheFormat versions the scenario hash: bump it whenever the simulator
 // or the spec encoding changes in a result-affecting way, so stale sweep
-// cache entries become unreachable instead of silently wrong. (The string
-// predates this package; keeping it preserves existing caches.)
-const CacheFormat = "slimfly-sweep-v1"
+// cache entries become unreachable instead of silently wrong.
+//
+// v2: cache entries grew an optional metrics.Summary payload alongside
+// Result. Entries written under v1 are Result-only; bumping the format
+// (which both keys and entry validation incorporate) makes them
+// unreachable rather than letting a v1 hit satisfy a job whose requested
+// collector output it cannot carry.
+const CacheFormat = "slimfly-sweep-v2"
 
 // TopoSpec names one network by registry kind and size. Either Kind+N (a
 // roster topology built near N endpoints) or Kind "SF" with an explicit Q
@@ -88,6 +95,15 @@ type SimParams struct {
 	CreditDelay  int `json:"credit_delay,omitempty"`
 	Speedup      int `json:"speedup,omitempty"`
 
+	// Metrics selects streaming collectors by comma-separated registry
+	// name (internal/metrics; e.g. "latency,channels"). Unlike Workers it
+	// IS part of the scenario's identity: the collector selection decides
+	// what a cached entry's summary payload contains, so two selections
+	// must occupy different cache slots. omitempty keeps metric-less
+	// specs byte-compatible with their pre-pipeline encoding (same hash
+	// input, modulo the format-version bump).
+	Metrics string `json:"metrics,omitempty"`
+
 	// Workers is intra-simulation parallelism (sim.Config.Workers). It is
 	// an execution knob, not part of the scenario's identity: the sharded
 	// engine is bit-identical to the serial one for every worker count, so
@@ -150,6 +166,9 @@ func (s Spec) Validate() error {
 		if err := CheckName(Patterns, s.Pattern); err != nil {
 			return err
 		}
+	}
+	if err := metrics.CheckNames(s.Sim.Metrics); err != nil {
+		return err
 	}
 	if s.Load < 0 || s.Load > 1 {
 		return fmt.Errorf("scenario: load %v out of [0,1]", s.Load)

@@ -14,16 +14,21 @@ import (
 // populated, wheel slots and staging buffers at their working sizes.
 // workers selects the engine: 0 the serial path, >= 1 the sharded
 // decide/commit path (callers must Close sims they step manually).
-func newSteadySim(tb testing.TB, q, warm int, algo Algo, workers int) *Sim {
+// metricsSel optionally attaches streaming collectors by registry name;
+// the measurement window is forced open so manually stepped cycles
+// exercise the full observe path (Hop and Cycle included).
+func newSteadySim(tb testing.TB, q, warm int, algo Algo, workers int, metricsSel string) *Sim {
 	sf := slimfly.MustNew(q)
 	rt := route.Build(sf.Graph())
 	s, err := New(Config{
 		Topo: sf, Tables: rt, Algo: algo, Pattern: traffic.Uniform{N: sf.Endpoints()},
 		Load: 0.7, Warmup: 1, Measure: 1, Seed: 17, Workers: workers,
+		Metrics: metricsSel,
 	})
 	if err != nil {
 		tb.Fatal(err)
 	}
+	s.windowEnd = 1 << 40 // keep manual steps inside the measurement window
 	tb.Cleanup(s.Close)
 	for i := 0; i < warm; i++ {
 		s.step(true)
@@ -37,17 +42,29 @@ func newSteadySim(tb testing.TB, q, warm int, algo Algo, workers int) *Sim {
 // 0.7 — the sweep engine's unit of work — under minimal routing and under
 // the paper's headline adaptive scheme. w0 is the serial engine; w1/w2/w4
 // the sharded decide/commit engine at that worker count (w1 isolates the
-// phase-split overhead, w4 is the CI speedup gate). Run with -benchmem:
-// every variant must report 0 allocs/op (see TestStepZeroAlloc).
+// phase-split overhead, w4 is the CI speedup gate). MIN+hist attaches
+// the latency histogram -- the configuration that replaces RunDetailed's
+// per-packet latency appends -- and CI gates its overhead over plain MIN
+// at <5% per cycle. MIN+metrics runs the full stock collector set
+// (channel counters, series and per-source fairness add several hundred
+// KiB of scattered counter increments per cycle, so this one is
+// report-only). Run with -benchmem: every variant must report 0
+// allocs/op (see TestStepZeroAlloc).
 func BenchmarkEngineStep(b *testing.B) {
 	for _, c := range []struct {
-		name string
-		algo Algo
-	}{{"MIN", MIN{}}, {"UGAL-L", UGALL{}}} {
+		name    string
+		algo    Algo
+		metrics string
+	}{
+		{"MIN", MIN{}, ""},
+		{"MIN+hist", MIN{}, "latency"},
+		{"MIN+metrics", MIN{}, "latency,channels,series,fairness"},
+		{"UGAL-L", UGALL{}, ""},
+	} {
 		for _, workers := range []int{0, 1, 2, 4} {
 			c, workers := c, workers
 			b.Run(fmt.Sprintf("%s/w%d", c.name, workers), func(b *testing.B) {
-				s := newSteadySim(b, 17, 2000, c.algo, workers)
+				s := newSteadySim(b, 17, 2000, c.algo, workers, c.metrics)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					s.step(true)
@@ -65,19 +82,29 @@ func BenchmarkEngineStep(b *testing.B) {
 // construction and reused every cycle. Any regression (a fresh slice in
 // the allocator, a growing wheel slot, a regrown grant buffer) fails this
 // test before it shows up as GC pressure in sweeps. The parallel variants
-// also pin that worker wake-ups and phase barriers stay allocation-free.
+// also pin that worker wake-ups and phase barriers stay allocation-free,
+// and the metrics variants that the full stock collector set observes
+// every hook (inject, hop, deliver, cycle) without touching the heap —
+// collector state is fixed at Attach, so enabling measurement costs
+// increments, not allocations.
 func TestStepZeroAlloc(t *testing.T) {
-	for _, workers := range []int{0, 1, 4} {
-		workers := workers
-		t.Run(fmt.Sprintf("w%d", workers), func(t *testing.T) {
-			s := newSteadySim(t, 9, 2000, MIN{}, workers)
-			allocs := testing.AllocsPerRun(1000, func() {
-				s.step(true)
-				s.cycle++
-			})
-			if allocs != 0 {
-				t.Fatalf("steady-state step allocates: %v allocs/op, want 0", allocs)
+	for _, sel := range []string{"", allCollectors} {
+		for _, workers := range []int{0, 1, 4} {
+			sel, workers := sel, workers
+			name := fmt.Sprintf("w%d", workers)
+			if sel != "" {
+				name += "+metrics"
 			}
-		})
+			t.Run(name, func(t *testing.T) {
+				s := newSteadySim(t, 9, 2000, MIN{}, workers, sel)
+				allocs := testing.AllocsPerRun(1000, func() {
+					s.step(true)
+					s.cycle++
+				})
+				if allocs != 0 {
+					t.Fatalf("steady-state step allocates: %v allocs/op, want 0", allocs)
+				}
+			})
+		}
 	}
 }

@@ -1,86 +1,86 @@
 package sim
 
 import (
-	"sort"
+	"slimfly/internal/metrics"
 )
 
-// Detailed metrics are collected when Config.Detailed is true: a latency
-// histogram (for percentiles) and per-channel flit counts (for link
-// utilization / hotspot analysis, used by the worst-case studies).
-
-// DetailedResult extends Result with distribution data.
+// DetailedResult extends Result with distribution data. It is a derived
+// view over the streaming collector pipeline (internal/metrics): the
+// percentiles come from the log-bucketed latency histogram (nearest-rank,
+// exact below 64 cycles and within 1/64 relative error above) and the
+// channel data from the per-channel load collector.
+//
+// Deprecated: new consumers should attach collectors directly
+// (Config.Metrics or RunSummary) and read the structured
+// metrics.Summary, which carries strictly more information (full
+// histogram stats, fairness, time series) in a mergeable, serialisable
+// form. DetailedResult remains for the worst-case hotspot studies that
+// predate the pipeline.
 type DetailedResult struct {
 	Result
 	LatencyP50, LatencyP95, LatencyP99 float64
 	// MaxChannelUtil is the utilisation of the hottest network channel
 	// during the measurement window (flits forwarded / cycles).
 	MaxChannelUtil float64
-	// ChannelUtils lists per-directed-channel utilisation, indexed as
-	// router*maxDeg+port; only meaningful entries are set.
-	hotChannels []channelLoad
+	hotChannels    []metrics.ChannelLoad
 }
 
-type channelLoad struct {
-	Router, Port int32
-	Flits        int64
-}
-
-// HottestChannels returns the n most-loaded directed channels as
-// (router, port, flits) triples, most loaded first.
-func (d *DetailedResult) HottestChannels(n int) []struct {
-	Router, Port int32
-	Flits        int64
-} {
-	out := make([]struct {
-		Router, Port int32
-		Flits        int64
-	}, 0, n)
-	for i, c := range d.hotChannels {
-		if i >= n {
-			break
-		}
-		out = append(out, struct {
-			Router, Port int32
-			Flits        int64
-		}{c.Router, c.Port, c.Flits})
+// HottestChannels returns the n most-loaded directed channels, most
+// loaded first, as exported metrics.ChannelLoad records.
+func (d *DetailedResult) HottestChannels(n int) []metrics.ChannelLoad {
+	if n > len(d.hotChannels) {
+		n = len(d.hotChannels)
 	}
-	return out
+	return append([]metrics.ChannelLoad(nil), d.hotChannels[:n]...)
 }
 
-// RunDetailed is Run plus latency percentiles and channel utilisation.
-// It costs one int64 per channel and one append per delivered packet.
+// RunDetailed is Run plus latency percentiles and channel utilisation,
+// collected by the streaming pipeline: a fixed-footprint histogram and one
+// counter per directed channel, instead of the old one-append-per-packet
+// latency slice (which made million-packet runs allocate without bound).
+//
+// Deprecated: use Config.Metrics ("latency,channels") with RunSummary or
+// Sim.MetricsSummary; this wrapper survives for its pre-pipeline callers.
 func (s *Sim) RunDetailed() DetailedResult {
-	s.collect = true
-	s.chanFlits = make([][]int64, len(s.routers))
-	for r := range s.routers {
-		s.chanFlits[r] = make([]int64, len(s.routers[r].outStaged))
+	// Attach the collectors this view reads, keeping any the Config
+	// already selected (a selection without latency/channels must not
+	// silently zero the percentiles). Top-K 0 keeps every loaded channel,
+	// matching the old behaviour of HottestChannels over the full list;
+	// a Config-selected channels collector keeps its own truncation.
+	var existing []metrics.Collector
+	hasLat, hasChan := false, false
+	if s.cols != nil {
+		existing = s.cols[0].Collectors()
+		for _, c := range existing {
+			switch c.(type) {
+			case *metrics.LatencyHist:
+				hasLat = true
+			case *metrics.ChannelLoads:
+				hasChan = true
+			}
+		}
+	}
+	if !hasLat || !hasChan {
+		cs := append([]metrics.Collector(nil), existing...)
+		if !hasLat {
+			cs = append(cs, metrics.NewLatencyHist())
+		}
+		if !hasChan {
+			cs = append(cs, metrics.NewChannelLoads(0))
+		}
+		s.initMetrics(metrics.SetOf(cs...))
 	}
 	base := s.Run()
 	d := DetailedResult{Result: base}
-	if len(s.latencies) > 0 {
-		sort.Slice(s.latencies, func(i, j int) bool { return s.latencies[i] < s.latencies[j] })
-		pick := func(p float64) float64 {
-			idx := int(p * float64(len(s.latencies)-1))
-			return float64(s.latencies[idx])
-		}
-		d.LatencyP50 = pick(0.50)
-		d.LatencyP95 = pick(0.95)
-		d.LatencyP99 = pick(0.99)
+	sum := s.MetricsSummary()
+	if sum.Latency != nil {
+		d.LatencyP50 = sum.Latency.P50
+		d.LatencyP95 = sum.Latency.P95
+		d.LatencyP99 = sum.Latency.P99
 	}
-	window := float64(s.cfg.Measure)
-	var loads []channelLoad
-	for r := range s.chanFlits {
-		for p, f := range s.chanFlits[r] {
-			if f == 0 {
-				continue
-			}
-			loads = append(loads, channelLoad{Router: int32(r), Port: int32(p), Flits: f})
-			if u := float64(f) / window; u > d.MaxChannelUtil {
-				d.MaxChannelUtil = u
-			}
-		}
+	if sum.Channels != nil {
+		d.MaxChannelUtil = sum.Channels.MaxUtil
+		d.hotChannels = sum.Channels.Hottest
 	}
-	sort.Slice(loads, func(i, j int) bool { return loads[i].Flits > loads[j].Flits })
-	d.hotChannels = loads
 	return d
 }

@@ -234,6 +234,7 @@ func (s *Sim) stepPhased(inject bool) {
 	}
 
 	s.linkPhase()
+	s.observeCycle()
 	s.pruneActive()
 }
 
@@ -440,7 +441,7 @@ func (s *Sim) commitGrant(r int32, rt *router, rec grantRec) {
 			s.setHead(rt, r, qi, q.peek())
 		}
 		rt.flits--
-		s.deliver(&p)
+		s.deliver(r, &p)
 		s.returnCredit(r, rt, qi)
 		return
 	}

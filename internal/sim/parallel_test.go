@@ -153,14 +153,14 @@ func TestNegativeWorkersRejected(t *testing.T) {
 // sim is a no-op, Close twice is safe, and a closed parallel sim restarts
 // its pool on the next step.
 func TestCloseIdempotent(t *testing.T) {
-	s := newSteadySim(t, 5, 50, MIN{}, 3)
+	s := newSteadySim(t, 5, 50, MIN{}, 3, "")
 	s.Close()
 	s.Close()
 	s.step(true) // relaunches the pool
 	s.cycle++
 	s.Close()
 
-	serial := newSteadySim(t, 5, 50, MIN{}, 0)
+	serial := newSteadySim(t, 5, 50, MIN{}, 0, "")
 	serial.Close() // no-op
 	_ = fmt.Sprint(serial.cycle)
 }

@@ -1,5 +1,9 @@
 package sim
 
+import (
+	"slimfly/internal/metrics"
+)
+
 // Run constructs a fresh simulator for cfg, executes it and returns the
 // measurements. It is a pure entry point: every call builds its own
 // simulator state (queues, wheels, RNG), and the shared inputs it reads --
@@ -13,4 +17,17 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	return s.Run(), nil
+}
+
+// RunSummary is Run plus the structured metrics summary of the collectors
+// named by cfg.Metrics (nil when none are configured). Like Run it builds
+// private state per call and is safe to fan out concurrently; the summary
+// is bit-identical at every cfg.Workers setting.
+func RunSummary(cfg Config) (Result, *metrics.Summary, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	res := s.Run()
+	return res, s.MetricsSummary(), nil
 }

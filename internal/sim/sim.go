@@ -25,6 +25,7 @@ import (
 	"math/bits"
 	"slices"
 
+	"slimfly/internal/metrics"
 	"slimfly/internal/route"
 	"slimfly/internal/stats"
 	"slimfly/internal/topo"
@@ -59,6 +60,15 @@ type Config struct {
 	// path unchanged; 1 runs the phased engine on a single shard without
 	// spawning goroutines (the machinery minus the concurrency).
 	Workers int
+
+	// Metrics selects streaming collectors by comma-separated registry
+	// name (internal/metrics, e.g. "latency,channels"); empty attaches
+	// none. Collectors observe the run with zero steady-state allocation
+	// and never change Result; read their output with MetricsSummary (or
+	// RunSummary). On the sharded engine every shard gets its own
+	// instances, merged exactly at the end of the run, so summaries are
+	// bit-identical at every worker count.
+	Metrics string
 
 	Seed uint64
 }
@@ -228,10 +238,16 @@ type Sim struct {
 	maxLat     int64
 	inFlight   int64 // measured packets not yet delivered
 
-	// Optional detailed collection (RunDetailed).
-	collect   bool
-	latencies []int32
-	chanFlits [][]int64 // [router][outPort] flits forwarded in-window
+	// Streaming metrics pipeline (internal/metrics): nil when no
+	// collectors are configured. cols[0] is the home instance set; the
+	// sharded engine adds one set per shard, with colOf routing each
+	// observation to the set owned by the shard of the router it occurred
+	// at (nil when a single set serves everything). The sets fold via
+	// Merge exactly once, in MetricsSummary.
+	cols       []*metrics.Set
+	colOf      []int32
+	colHop     bool // any collector observes hops (link-phase fast-path gate)
+	colsMerged bool
 }
 
 // New builds a simulator from cfg, validating the configuration.
@@ -358,7 +374,95 @@ func New(cfg Config) (*Sim, error) {
 	if cfg.Workers > 0 {
 		s.par = newParEngine(s, cfg.Workers, maxQ, maxOutputs)
 	}
+	if cfg.Metrics != "" {
+		set, err := metrics.NewSet(cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		s.initMetrics(set)
+	}
 	return s, nil
+}
+
+// initMetrics attaches a collector set to the simulator: the home set,
+// plus one clone per shard on the sharded engine, with observations
+// routed by the router they occur at (see colFor) and the sets folded
+// back together in MetricsSummary. Today every hook fires from a serial
+// phase (injection, the ordered commit loop, link traversal), so the
+// sharding is not protecting against concurrent observation -- it is the
+// pipeline's architecture: the routing is deterministic by router id, the
+// fold is exact for the stock collectors' partition-insensitive state
+// (TestCollectorParityParallel pins both), and any future parallelised
+// observation phase (e.g. per-shard link traversal) inherits instances
+// that are already shard-private instead of a set that would need locks.
+func (s *Sim) initMetrics(set *metrics.Set) {
+	meta := metrics.Meta{
+		Routers:   s.nRouters,
+		Endpoints: len(s.epRouter),
+		Degrees:   make([]int32, s.nRouters),
+		NumVCs:    s.cfg.NumVCs,
+		Warmup:    int64(s.cfg.Warmup),
+		Measure:   int64(s.cfg.Measure),
+	}
+	for r := range s.routers {
+		meta.Degrees[r] = int32(len(s.routers[r].nbr))
+	}
+	ns := 1
+	if s.par != nil {
+		ns = len(s.par.shards)
+	}
+	s.cols = make([]*metrics.Set, ns)
+	s.cols[0] = set
+	for k := 1; k < ns; k++ {
+		s.cols[k] = set.Clone()
+	}
+	for _, c := range s.cols {
+		c.Attach(meta)
+	}
+	s.colOf = nil
+	s.colHop = set.ObservesHops()
+	s.colsMerged = false
+	if ns > 1 {
+		s.colOf = make([]int32, s.nRouters)
+		for k := range s.par.shards {
+			sh := &s.par.shards[k]
+			for r := sh.lo; r < sh.hi; r++ {
+				s.colOf[r] = int32(k)
+			}
+		}
+	}
+}
+
+// colFor returns the collector set owning router r's observations.
+func (s *Sim) colFor(r int32) *metrics.Set {
+	if s.colOf == nil {
+		return s.cols[0]
+	}
+	return s.cols[s.colOf[r]]
+}
+
+// inWindow reports whether the current cycle is inside the measurement
+// window (the scope of Hop and Cycle observations).
+func (s *Sim) inWindow() bool {
+	return s.cycle >= int64(s.cfg.Warmup) && s.cycle < s.windowEnd
+}
+
+// MetricsSummary folds the per-shard collector instances into the home
+// set (exact: stock collector state is partition-insensitive integer
+// aggregates, and the fold happens once) and returns the structured
+// summary. Nil when the simulator has no collectors attached.
+func (s *Sim) MetricsSummary() *metrics.Summary {
+	if s.cols == nil {
+		return nil
+	}
+	if !s.colsMerged {
+		for _, c := range s.cols[1:] {
+			s.cols[0].Merge(c)
+		}
+		s.colsMerged = true
+	}
+	sum := s.cols[0].Summary()
+	return &sum
 }
 
 // PortToward returns router r's output-port index toward destination
@@ -499,7 +603,17 @@ func (s *Sim) step(inject bool) {
 	}
 
 	s.linkPhase()
+	s.observeCycle()
 	s.pruneActive()
+}
+
+// observeCycle ticks the collectors' per-cycle hook for measurement-window
+// cycles. The tick goes to the home instance only (the hook contract in
+// internal/metrics), so it needs no shard routing.
+func (s *Sim) observeCycle() {
+	if s.cols != nil && s.inWindow() {
+		s.cols[0].Cycle(s.cycle)
+	}
 }
 
 // applyCredits performs step 1 of a cycle: credit returns scheduled for
@@ -556,6 +670,9 @@ func (s *Sim) injectPhase() {
 		if pkt.Measured {
 			s.injected++
 			s.inFlight++
+			if s.cols != nil {
+				s.colFor(r).Inject(int32(e), s.cycle)
+			}
 		}
 	}
 }
@@ -566,17 +683,18 @@ func (s *Sim) injectPhase() {
 // encoding exactly this serialisation plus the channel and pipeline
 // delays, so departure is pure counter bookkeeping here.
 func (s *Sim) linkPhase() {
-	if s.collect && s.cycle >= int64(s.cfg.Warmup) && s.cycle < s.windowEnd {
+	if s.colHop && s.inWindow() {
 		for _, r := range s.active {
 			rt := &s.routers[r]
 			if rt.staged == 0 {
 				continue
 			}
+			col := s.colFor(r)
 			for p, n := range rt.outStaged {
 				if n > 0 {
 					rt.outStaged[p]--
 					rt.staged--
-					s.chanFlits[r][p]++
+					col.Hop(r, int32(p), s.cycle)
 				}
 			}
 		}
@@ -741,7 +859,7 @@ func (s *Sim) allocate(r int32, rt *router) {
 					s.setHead(rt, r, qi, q.peek())
 				}
 				rt.flits--
-				s.deliver(&p)
+				s.deliver(r, &p)
 				s.returnCredit(r, rt, qi)
 				granted++
 				continue
@@ -832,7 +950,8 @@ func (s *Sim) returnCredit(r int32, rt *router, q int) {
 	s.credWheel[slot] = append(s.credWheel[slot], creditEvt{router: up, port: upPort, vc: vc})
 }
 
-func (s *Sim) deliver(p *Packet) {
+// deliver completes a packet's journey at router r (its ejection router).
+func (s *Sim) deliver(r int32, p *Packet) {
 	// Sustained throughput counts every delivery inside the measurement
 	// window (warmup-born packets included): at saturation the warmup
 	// backlog is part of the steady state, and excluding it would make
@@ -844,8 +963,8 @@ func (s *Sim) deliver(p *Packet) {
 		return
 	}
 	lat := s.cycle - int64(p.Birth)
-	if s.collect {
-		s.latencies = append(s.latencies, int32(lat))
+	if s.cols != nil {
+		s.colFor(r).Deliver(p.Src, int32(p.Hops), lat, s.cycle)
 	}
 	s.latSum += lat
 	s.hopSum += int64(p.Hops)

@@ -7,6 +7,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"slimfly/internal/metrics"
 	"slimfly/internal/scenario"
 	"slimfly/internal/sim"
 )
@@ -14,13 +15,18 @@ import (
 // Entry is one cached simulation result, stored as indented JSON at
 // <dir>/<key[:2]>/<key>.json. The job is stored alongside the result so a
 // cache directory is self-describing (inspectable and re-exportable
-// without the original spec).
+// without the original spec). Jobs whose SimParams request collectors
+// carry the structured metrics summary too; the collector selection is
+// part of the job key, so an entry always holds exactly the payload its
+// job asked for (the slimfly-sweep-v2 format bump keeps pre-pipeline
+// Result-only entries from being misread as summary-bearing ones).
 type Entry struct {
-	Format  string     `json:"format"` // cacheFormat at write time
-	Job     Job        `json:"job"`
-	Result  sim.Result `json:"result"`
-	Elapsed float64    `json:"elapsed_seconds"` // execution wall time (not cached reads)
-	Created time.Time  `json:"created"`
+	Format  string           `json:"format"` // cacheFormat at write time
+	Job     Job              `json:"job"`
+	Result  sim.Result       `json:"result"`
+	Metrics *metrics.Summary `json:"metrics,omitempty"`
+	Elapsed float64          `json:"elapsed_seconds"` // execution wall time (not cached reads)
+	Created time.Time        `json:"created"`
 }
 
 // Cache is a content-addressed result store. Writes are atomic (unique

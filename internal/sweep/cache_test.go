@@ -21,9 +21,10 @@ func testJob() Job {
 // TestKeyStability pins the content address of a fixed job. If this test
 // fails, the job encoding (or the cache format version) changed and every
 // existing cache entry is invalidated -- which must be a deliberate,
-// version-bumped decision, not an accident.
+// version-bumped decision, not an accident. (Last bump:
+// slimfly-sweep-v2, when entries grew the optional metrics payload.)
 func TestKeyStability(t *testing.T) {
-	const want = "5012b7948d7def9ec2b2723bb95d035c59a09244cf46de1b82fe20080ce57ee4"
+	const want = "2d112f855ab75aa4ce20cd780862e66aaa887d9e3a78e7144e083ababac3c14b"
 	if got := testJob().Key(); got != want {
 		t.Errorf("Key() = %s, want %s (job encoding changed: bump cacheFormat)", got, want)
 	}

@@ -8,17 +8,21 @@ import (
 	"sync/atomic"
 	"time"
 
+	"slimfly/internal/metrics"
 	"slimfly/internal/sim"
 )
 
-// JobResult is the outcome of one sweep point.
+// JobResult is the outcome of one sweep point. Metrics carries the
+// structured collector summary when the job's SimParams requested
+// collectors (nil otherwise), whether executed or served from the cache.
 type JobResult struct {
-	Job     Job        `json:"job"`
-	Key     string     `json:"key,omitempty"`
-	Result  sim.Result `json:"result"`
-	Cached  bool       `json:"cached"`          // served from the result cache
-	Err     string     `json:"error,omitempty"` // non-empty: job failed
-	Elapsed float64    `json:"elapsed_seconds"` // execution time; 0 for cache hits
+	Job     Job              `json:"job"`
+	Key     string           `json:"key,omitempty"`
+	Result  sim.Result       `json:"result"`
+	Metrics *metrics.Summary `json:"metrics,omitempty"`
+	Cached  bool             `json:"cached"`          // served from the result cache
+	Err     string           `json:"error,omitempty"` // non-empty: job failed
+	Elapsed float64          `json:"elapsed_seconds"` // execution time; 0 for cache hits
 }
 
 // Stats summarises a pool run.
@@ -211,6 +215,7 @@ func runOne(t Task, cache *Cache, simWorkers int) (jr JobResult) {
 	if cache != nil && t.Key != "" {
 		if e, ok := cache.Get(t.Key); ok {
 			jr.Result = e.Result
+			jr.Metrics = e.Metrics
 			jr.Cached = true
 			return jr
 		}
@@ -224,18 +229,19 @@ func runOne(t Task, cache *Cache, simWorkers int) (jr JobResult) {
 		cfg.Workers = simWorkers
 	}
 	start := time.Now()
-	res, err := sim.Run(cfg)
+	res, sum, err := sim.RunSummary(cfg)
 	if err != nil {
 		jr.Err = err.Error()
 		return jr
 	}
 	jr.Result = res
+	jr.Metrics = sum
 	jr.Elapsed = time.Since(start).Seconds()
 	if cache != nil && t.Key != "" {
 		// A failed store only degrades future runs to recomputation; the
 		// result itself is still good, so the error is dropped.
 		_ = cache.Put(t.Key, Entry{
-			Job: t.Job, Result: res, Elapsed: jr.Elapsed, Created: time.Now().UTC(),
+			Job: t.Job, Result: res, Metrics: sum, Elapsed: jr.Elapsed, Created: time.Now().UTC(),
 		})
 	}
 	return jr

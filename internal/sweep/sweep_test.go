@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"encoding/json"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -293,6 +294,91 @@ func TestSimWorkersBitIdentical(t *testing.T) {
 		if serial[i].Result != sharded[i].Result {
 			t.Errorf("job %d (%s): sharded result diverged:\n got  %#v\n want %#v",
 				i, serial[i].Job.Label(), sharded[i].Result, serial[i].Result)
+		}
+	}
+}
+
+// TestSweepMetricsPayload pins the collector flow through the pool and
+// the cache: a spec requesting collectors yields a metrics summary on
+// every executed job, the summary round-trips through the cache
+// byte-identically on the second (fully cached) run, and forcing
+// intra-simulation sharding leaves it bit-identical -- the sweep-level
+// face of the engine's shard-merge determinism.
+func TestSweepMetricsPayload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-backed; skipped in -short")
+	}
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := &Spec{
+		Name:  "metrics",
+		Topos: []TopoSpec{{Kind: "SF", Q: 5}},
+		Algos: []string{"min"},
+		Loads: []float64{0.2, 0.4},
+		Sim:   SimParams{Warmup: 50, Measure: 100, Drain: 500, Metrics: "latency,channels"},
+	}
+	sumJSON := func(r JobResult) string {
+		t.Helper()
+		if r.Err != "" {
+			t.Fatalf("job %s failed: %s", r.Job.Label(), r.Err)
+		}
+		if r.Metrics == nil || r.Metrics.Latency == nil || r.Metrics.Channels == nil {
+			t.Fatalf("job %s missing requested summary sections: %+v", r.Job.Label(), r.Metrics)
+		}
+		data, err := json.Marshal(r.Metrics)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+
+	run1, st1, err := Run(context.Background(), spec, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Executed != st1.Total {
+		t.Fatalf("first run stats = %+v", st1)
+	}
+	run2, st2, err := Run(context.Background(), spec, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Cached != st2.Total {
+		t.Fatalf("second run stats = %+v, want all cached", st2)
+	}
+	sharded, _, err := Run(context.Background(), spec, Options{SimWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range run1 {
+		want := sumJSON(run1[i])
+		if got := sumJSON(run2[i]); got != want {
+			t.Errorf("job %d: cached summary differs from computed:\n got  %s\n want %s", i, got, want)
+		}
+		if got := sumJSON(sharded[i]); got != want {
+			t.Errorf("job %d: sharded summary diverged:\n got  %s\n want %s", i, got, want)
+		}
+	}
+
+	// The selection is part of the job identity: the same grid without
+	// collectors occupies different cache slots and carries no payload.
+	plain := *spec
+	plain.Sim.Metrics = ""
+	run4, st4, err := Run(context.Background(), &plain, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st4.Cached != 0 {
+		t.Errorf("metric-less spec hit the metric-bearing cache entries: %+v", st4)
+	}
+	for i := range run4 {
+		if run4[i].Metrics != nil {
+			t.Errorf("job %d: summary present without a selection", i)
+		}
+		if run4[i].Result != run1[i].Result {
+			t.Errorf("job %d: collectors changed Result", i)
 		}
 	}
 }
