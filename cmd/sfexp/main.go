@@ -24,6 +24,7 @@ import (
 
 	"slimfly/internal/cost"
 	"slimfly/internal/exp"
+	"slimfly/internal/obs"
 	"slimfly/internal/scenario"
 )
 
@@ -34,9 +35,19 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "deterministic seed")
 		samples = flag.Int("samples", 24, "samples per resiliency point")
 		pattern = flag.String("pattern", "uniform", "traffic pattern for the generic fig6 experiment (see sfsim -list)")
+		debug   = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address while running")
 		list    = flag.Bool("list", false, "list experiment ids")
 	)
 	flag.Parse()
+	if *debug != "" {
+		d, err := obs.ServeDebug(*debug)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sfexp:", err)
+			os.Exit(1)
+		}
+		defer d.Close()
+		fmt.Fprintf(os.Stderr, "sfexp: debug listener on http://%s/debug/vars\n", d.Addr())
+	}
 
 	ids := []string{
 		"fig1", "fig5a", "fig5b", "fig5c", "table2", "table3",

@@ -11,6 +11,7 @@
 //	sfsim -topo SF -q 19 -p 18 -algo min -pattern worstcase -load 0.2 -sweep
 //	sfsim -algo ugal-l -load 0.7 -metrics latency,channels
 //	sfsim -algo min -sweep -metrics all -json > run.json
+//	sfsim -algo ugal-l -load 0.6 -trace-out trace.json -trace-format chrome
 //	sfsim -list
 package main
 
@@ -22,7 +23,9 @@ import (
 	"os"
 	"slices"
 
+	"slimfly/internal/export"
 	"slimfly/internal/metrics"
+	"slimfly/internal/obs"
 	"slimfly/internal/scenario"
 	"slimfly/internal/sim"
 	"slimfly/internal/topo"
@@ -45,10 +48,37 @@ func main() {
 		workers    = flag.Int("workers", 0, "intra-simulation workers (0 = serial engine; any value gives bit-identical results)")
 		metricsSel = flag.String("metrics", "", "streaming collectors, comma-separated (see -list; \"all\" selects every collector)")
 		jsonOut    = flag.Bool("json", false, "emit results (and metric summaries) as JSON instead of the text table")
+		traceOut   = flag.String("trace-out", "", "write the sampled packet trace to this file (adds the trace collector; single load point only)")
+		traceFmt   = flag.String("trace-format", "chrome", "trace file format: chrome (Perfetto-loadable trace-event JSON) or jsonl")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address while running")
 		seed       = flag.Uint64("seed", 1, "seed")
 		list       = flag.Bool("list", false, "list registered topologies, algos, patterns and collectors")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		d, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer d.Close()
+		fmt.Fprintf(os.Stderr, "sfsim: debug listener on http://%s/debug/vars\n", d.Addr())
+	}
+	if *traceOut != "" {
+		if *sweep {
+			usage(errors.New("-trace-out needs a single load point; drop -sweep"))
+		}
+		if *traceFmt != "chrome" && *traceFmt != "jsonl" {
+			usage(fmt.Errorf("unknown -trace-format %q (chrome or jsonl)", *traceFmt))
+		}
+		if !slices.Contains(metrics.ParseNames(*metricsSel), "trace") {
+			if *metricsSel == "" {
+				*metricsSel = "trace"
+			} else {
+				*metricsSel += ",trace"
+			}
+		}
+	}
 
 	if *list {
 		fmt.Print(scenario.ListText())
@@ -104,6 +134,7 @@ func main() {
 		Metrics *metrics.Summary `json:"metrics,omitempty"`
 	}
 	var points []point
+	var traceStats *metrics.TraceStats
 
 	if !*jsonOut {
 		fmt.Printf("%-6s %-12s %-10s %-9s %-9s", "load", "avg_latency", "accepted", "avg_hops", "saturated")
@@ -127,6 +158,9 @@ func main() {
 		r, sum, err := sim.RunSummary(cfg)
 		if err != nil {
 			fail(err)
+		}
+		if sum != nil && sum.Trace != nil {
+			traceStats = sum.Trace
 		}
 		if *jsonOut {
 			points = append(points, point{Load: l, Result: r, Metrics: sum})
@@ -156,6 +190,33 @@ func main() {
 			fail(err)
 		}
 	}
+	if *traceOut != "" {
+		if traceStats == nil {
+			fail(errors.New("run produced no trace section"))
+		}
+		if err := writeTrace(*traceOut, *traceFmt, traceStats); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "sfsim: wrote %s trace (%d events, %d packets, %d dropped) -> %s\n",
+			*traceFmt, len(traceStats.Events), traceStats.Packets, traceStats.Dropped, *traceOut)
+	}
+}
+
+// writeTrace serialises the sampled packet trace in the requested format.
+func writeTrace(path, format string, ts *metrics.TraceStats) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if format == "jsonl" {
+		err = export.WriteTraceJSONL(f, ts)
+	} else {
+		err = export.WriteChromeTrace(f, ts)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fail(err error) {

@@ -31,6 +31,7 @@ import (
 
 	"slimfly/internal/export"
 	"slimfly/internal/metrics"
+	"slimfly/internal/obs"
 	"slimfly/internal/scenario"
 	"slimfly/internal/sweep"
 )
@@ -43,12 +44,21 @@ func main() {
 		workers    = flag.Int("workers", 0, "core budget for the pool (default: one per core)")
 		simW       = flag.Int("sim-workers", 0, "intra-simulation workers per job (0 = auto: split the core budget between concurrent jobs and shards; results are identical either way)")
 		metricsSel = flag.String("metrics", "", "streaming collectors for every job, comma-separated (overrides the specs' sim.metrics; \"all\" selects every collector)")
-		interval   = flag.Duration("progress", 2*time.Second, "progress report interval (0 disables)")
+		interval   = flag.Duration("progress-every", 2*time.Second, "progress report interval (0 disables)")
+		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address while the sweep runs")
 		dryRun     = flag.Bool("dry-run", false, "print the expanded job list and exit")
 		noCache    = flag.Bool("no-cache", false, "execute every job, ignoring and not writing the cache")
 		list       = flag.Bool("list", false, "list registered topologies, algos, patterns and collectors")
 	)
 	flag.Parse()
+	if *debugAddr != "" {
+		d, err := obs.ServeDebug(*debugAddr)
+		if err != nil {
+			fail(err)
+		}
+		defer d.Close()
+		fmt.Fprintf(os.Stderr, "sfsweep: debug listener on http://%s/debug/vars\n", d.Addr())
+	}
 	if *list {
 		fmt.Print(scenario.ListText())
 		fmt.Printf("collectors (-metrics / sim.metrics):\n%s", metrics.Describe())
@@ -143,6 +153,10 @@ func main() {
 	defer stop()
 
 	prog := sweep.NewProgress(len(jobs), nw)
+	// The live snapshot also rides the expvar page: with -debug-addr,
+	// `curl /debug/vars | jq '.slimfly.sweep_progress'` is the remote
+	// equivalent of the stderr ticker line.
+	obs.Publish("sweep_progress", func() any { return prog.Snapshot() })
 	var ticker *time.Ticker
 	stopTick := make(chan struct{})
 	if *interval > 0 {
@@ -159,12 +173,14 @@ func main() {
 		}()
 	}
 
+	// The pool feeds prog itself (claims show up as in-flight); OnDone only
+	// reports failures, observing again there would double-count.
 	results, stats, runErr := sweep.RunJobs(ctx, jobs, sweep.NewEnv(), sweep.Options{
 		Workers:    nw,
 		SimWorkers: simWorkers,
 		Cache:      cache,
+		Progress:   prog,
 		OnDone: func(_ int, r sweep.JobResult) {
-			prog.Observe(r)
 			if r.Err != "" {
 				fmt.Fprintf(os.Stderr, "sfsweep: FAILED %s: %s\n", r.Job.Label(), r.Err)
 			}

@@ -1,0 +1,138 @@
+package export
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"slimfly/internal/metrics"
+	"slimfly/internal/route"
+	"slimfly/internal/sim"
+	"slimfly/internal/topo/slimfly"
+	"slimfly/internal/traffic"
+)
+
+// goldenTrace runs the golden SlimFly q=5 scenario (the geometry the
+// sim package's golden tests pin) with the trace collector and returns
+// the sampled stream. UGAL-L so both decision tags can appear.
+func goldenTrace(t *testing.T) *metrics.TraceStats {
+	t.Helper()
+	sf := slimfly.MustNew(5)
+	rt := route.Build(sf.Graph())
+	_, sum, err := sim.RunSummary(sim.Config{
+		Topo: sf, Tables: rt, Algo: sim.UGALL{},
+		Pattern: traffic.Uniform{N: sf.Endpoints()},
+		Load:    0.3, Warmup: 300, Measure: 800, Drain: 8000, Seed: 12345,
+		Metrics: "trace",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Trace == nil || len(sum.Trace.Events) == 0 {
+		t.Fatal("golden scenario produced no sampled trace events")
+	}
+	return sum.Trace
+}
+
+func TestWriteTraceJSONL(t *testing.T) {
+	ts := goldenTrace(t)
+	var buf bytes.Buffer
+	if err := WriteTraceJSONL(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var events []metrics.TraceEvent
+	for sc.Scan() {
+		var e metrics.TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d not a TraceEvent: %v", len(events)+1, err)
+		}
+		events = append(events, e)
+	}
+	if len(events) != len(ts.Events) {
+		t.Fatalf("JSONL round-tripped %d events, want %d", len(events), len(ts.Events))
+	}
+	for i := range events {
+		if events[i] != ts.Events[i] {
+			t.Fatalf("event %d drifted through JSONL: %+v != %+v", i, events[i], ts.Events[i])
+		}
+	}
+}
+
+// TestChromeTraceSchemaGolden is the CI schema gate: a Chrome trace
+// generated from the golden scenario must validate against the
+// trace-event schema subset and carry the expected event population.
+func TestChromeTraceSchemaGolden(t *testing.T) {
+	ts := goldenTrace(t)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if !json.Valid(raw) {
+		t.Fatal("chrome trace is not valid JSON")
+	}
+	if err := ValidateChromeTrace(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("generated trace fails schema validation: %v", err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Cat string `json:"cat"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		counts[e.Ph]++
+	}
+	if counts["b"] == 0 || counts["b"] != counts["e"] {
+		t.Errorf("async packet pairs unbalanced: %d b, %d e", counts["b"], counts["e"])
+	}
+	if counts["X"] == 0 || counts["i"] == 0 {
+		t.Errorf("missing hop or instant events: %v", counts)
+	}
+	// Complete paths produce exactly one b/e pair each.
+	complete := 0
+	for _, p := range ts.Paths() {
+		if p.Complete {
+			complete++
+		}
+	}
+	if counts["b"] != complete {
+		t.Errorf("%d async begins for %d complete paths", counts["b"], complete)
+	}
+}
+
+func TestValidateChromeTraceRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{"traceEvents": [}`,
+		"no traceEvents":  `{"otherEvents": []}`,
+		"bad phase":       `{"traceEvents": [{"name":"x","ph":"Q","ts":1,"pid":0,"tid":0}]}`,
+		"missing name":    `{"traceEvents": [{"ph":"X","ts":1,"dur":1,"pid":0,"tid":0}]}`,
+		"negative ts":     `{"traceEvents": [{"name":"x","ph":"X","ts":-5,"dur":1,"pid":0,"tid":0}]}`,
+		"negative dur":    `{"traceEvents": [{"name":"x","ph":"X","ts":1,"dur":-1,"pid":0,"tid":0}]}`,
+		"async no id":     `{"traceEvents": [{"name":"x","ph":"b","ts":1,"pid":0,"tid":0}]}`,
+		"end no begin":    `{"traceEvents": [{"name":"x","ph":"e","ts":1,"id":"0x1","pid":0,"tid":0}]}`,
+		"unbalanced pair": `{"traceEvents": [{"name":"x","ph":"b","ts":1,"id":"0x1","pid":0,"tid":0}]}`,
+	}
+	for name, doc := range cases {
+		if err := ValidateChromeTrace(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	ok := `{"traceEvents": [
+		{"name":"proc","ph":"M","pid":3,"args":{"name":"router 3"}},
+		{"name":"hop","ph":"X","ts":10,"dur":1,"pid":3,"tid":1},
+		{"name":"pkt","cat":"packet","ph":"b","ts":9,"id":"0x1","pid":0,"tid":0},
+		{"name":"pkt","cat":"packet","ph":"e","ts":12,"id":"0x1","pid":0,"tid":0}
+	]}`
+	if err := ValidateChromeTrace(strings.NewReader(ok)); err != nil {
+		t.Errorf("minimal valid trace rejected: %v", err)
+	}
+}

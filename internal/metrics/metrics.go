@@ -111,6 +111,35 @@ type CycleObserver interface {
 	Cycle(cycle int64)
 }
 
+// PacketObserver receives identity-carrying per-packet events for
+// measured packets: one PacketInject per injection (tag is the
+// injection-time path decision), one PacketHop per switch allocation
+// grant onto a network channel (port is the granted output, vc the
+// next-hop virtual channel) and one PacketDeliver per delivery (drain
+// included). The id packs src<<32 | birth-cycle, identical in both
+// engines; observations are routed to the shard instance owning the
+// router they occur at, like every other hook. Unlike HopObserver --
+// which counts flits at link departure -- PacketHop fires at grant time,
+// one cycle earlier in a packet's life at each switch.
+type PacketObserver interface {
+	PacketInject(id uint64, dst, router int32, tag TraceTag, cycle int64)
+	PacketHop(id uint64, router, port int32, vc int8, cycle int64)
+	PacketDeliver(id uint64, router, hops int32, latency, cycle int64)
+}
+
+// PacketSampler is an optional capability of PacketObservers that ignore
+// every event whose traceHash(id) has a bit in common with their mask
+// (hashed-id subsampling, like the trace collector's 1-in-2^k). When all
+// of a Set's packet observers declare masks, the Set hoists their
+// intersection in front of the fan-out: the engines call the packet hooks
+// once per allocation grant (~10^4/cycle at scale), so the not-sampled
+// path must cost a hash and a compare, not an interface call per
+// observer. A mask of 0 means "observes every packet" and disables the
+// hoisted filter.
+type PacketSampler interface {
+	SampleMask() uint64
+}
+
 // Summary is the structured result of a collector set: one optional
 // section per stock collector kind. It marshals to stable JSON (sections
 // are structs and ordered slices, never maps), so byte-equality of encoded
@@ -120,6 +149,7 @@ type Summary struct {
 	Channels *ChannelStats  `json:"channels,omitempty"`
 	Series   *SeriesStats   `json:"series,omitempty"`
 	Fairness *FairnessStats `json:"fairness,omitempty"`
+	Trace    *TraceStats    `json:"trace,omitempty"`
 }
 
 // Set is an ordered collection of collectors driven as one. Each hook
@@ -131,6 +161,12 @@ type Set struct {
 	hop []HopObserver
 	del []DeliverObserver
 	cyc []CycleObserver
+	pkt []PacketObserver
+
+	// pktMask is the intersection of the packet observers' sampling masks
+	// (see PacketSampler); events failing it are dropped before fan-out.
+	// 0 disables the pre-filter.
+	pktMask uint64
 }
 
 // SetOf builds a set from explicit collector instances (the registry-free
@@ -150,6 +186,25 @@ func SetOf(cs ...Collector) *Set {
 		if o, ok := c.(CycleObserver); ok {
 			s.cyc = append(s.cyc, o)
 		}
+		if o, ok := c.(PacketObserver); ok {
+			s.pkt = append(s.pkt, o)
+		}
+	}
+	// Hoist the packet-sampling pre-filter: sound only if every packet
+	// observer declares a mask (intersection: an event surviving the
+	// hoisted test is re-checked by each observer's own mask, so the
+	// filter can only skip events nobody would record).
+	if len(s.pkt) > 0 {
+		mask := ^uint64(0)
+		for _, o := range s.pkt {
+			ps, ok := o.(PacketSampler)
+			if !ok {
+				mask = 0
+				break
+			}
+			mask &= ps.SampleMask()
+		}
+		s.pktMask = mask
 	}
 	return s
 }
@@ -162,6 +217,11 @@ func (s *Set) Collectors() []Collector { return s.cs }
 // staged port per cycle), so it falls back to its uninstrumented loop
 // when nothing would listen.
 func (s *Set) ObservesHops() bool { return len(s.hop) > 0 }
+
+// ObservesPackets reports whether any collector consumes per-packet
+// events; the engines skip the per-grant trace sites entirely (a single
+// flag test) when nothing would listen.
+func (s *Set) ObservesPackets() bool { return len(s.pkt) > 0 }
 
 // Attach sizes every collector for the described system.
 func (s *Set) Attach(m Meta) {
@@ -195,6 +255,36 @@ func (s *Set) Deliver(src, hops int32, latency, cycle int64) {
 func (s *Set) Cycle(cycle int64) {
 	for _, c := range s.cyc {
 		c.Cycle(cycle)
+	}
+}
+
+// PacketInject fans the packet-injection event out to its observers.
+func (s *Set) PacketInject(id uint64, dst, router int32, tag TraceTag, cycle int64) {
+	if traceHash(id)&s.pktMask != 0 {
+		return
+	}
+	for _, c := range s.pkt {
+		c.PacketInject(id, dst, router, tag, cycle)
+	}
+}
+
+// PacketHop fans the allocation-grant event out to its observers.
+func (s *Set) PacketHop(id uint64, router, port int32, vc int8, cycle int64) {
+	if traceHash(id)&s.pktMask != 0 {
+		return
+	}
+	for _, c := range s.pkt {
+		c.PacketHop(id, router, port, vc, cycle)
+	}
+}
+
+// PacketDeliver fans the packet-delivery event out to its observers.
+func (s *Set) PacketDeliver(id uint64, router, hops int32, latency, cycle int64) {
+	if traceHash(id)&s.pktMask != 0 {
+		return
+	}
+	for _, c := range s.pkt {
+		c.PacketDeliver(id, router, hops, latency, cycle)
 	}
 }
 
@@ -355,6 +445,8 @@ func init() {
 		func() Collector { return NewSeries(0) })
 	Register("fairness", "per-source delivery counts: Jain index, worst-source latency",
 		func() Collector { return NewFairness() })
+	Register("trace", "sampled per-packet event stream (1-in-1024 by hashed id): inject/hop/deliver with cycle, router/port, VC and path decision",
+		func() Collector { return NewTrace(DefaultTraceShift, DefaultTraceCap) })
 }
 
 // Describe returns one "name: description" line per registered collector,

@@ -1,0 +1,198 @@
+package metrics
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestTraceSamplingDeterministic(t *testing.T) {
+	a := NewTrace(DefaultTraceShift, 16)
+	b := NewTrace(DefaultTraceShift, 16)
+	sampled := 0
+	const n = 1 << 16
+	for id := uint64(0); id < n; id++ {
+		if a.Sampled(id) != b.Sampled(id) {
+			t.Fatalf("sampling not deterministic at id %d", id)
+		}
+		if a.Sampled(id) {
+			sampled++
+		}
+	}
+	// 1-in-1024 over 65536 structured ids: expect ~64, allow wide slack --
+	// the point is unbiasedness despite sequential ids, not exact rate.
+	if sampled < 16 || sampled > 256 {
+		t.Errorf("sampled %d of %d ids at 1-in-1024", sampled, n)
+	}
+	every := NewTrace(0, 16)
+	for id := uint64(0); id < 100; id++ {
+		if !every.Sampled(id) {
+			t.Fatalf("shift 0 skipped id %d", id)
+		}
+	}
+}
+
+func TestTraceRingOverwrite(t *testing.T) {
+	tr := NewTrace(0, 4)
+	tr.Attach(testMeta())
+	for i := 0; i < 10; i++ {
+		tr.PacketInject(uint64(i), 1, 2, TagMinimal, int64(i))
+	}
+	var sum Summary
+	tr.Summarize(&sum)
+	st := sum.Trace
+	if st.Recorded != 10 || st.Dropped != 6 || len(st.Events) != 4 {
+		t.Fatalf("recorded/dropped/kept = %d/%d/%d, want 10/6/4", st.Recorded, st.Dropped, len(st.Events))
+	}
+	for i, e := range st.Events {
+		if want := int64(6 + i); e.Cycle != want {
+			t.Errorf("survivor %d cycle = %d, want %d (oldest-first tail)", i, e.Cycle, want)
+		}
+	}
+}
+
+// TestTraceMergeCanonical pins the shard-merge contract: however events
+// are partitioned across instances, the merged summary is identical.
+func TestTraceMergeCanonical(t *testing.T) {
+	type ev struct {
+		id    uint64
+		cycle int64
+	}
+	evs := []ev{{5, 3}, {1, 1}, {9, 3}, {1, 2}, {7, 1}, {2, 4}}
+	feed := func(tr *Trace, es []ev) {
+		for _, e := range es {
+			tr.PacketInject(e.id, 1, 2, TagMinimal, e.cycle)
+		}
+	}
+	single := NewTrace(0, 64)
+	single.Attach(testMeta())
+	feed(single, evs)
+	var want Summary
+	single.Summarize(&want)
+
+	// Two-way split, merged in both orders.
+	for _, flip := range []bool{false, true} {
+		a := NewTrace(0, 64)
+		b := NewTrace(0, 64)
+		a.Attach(testMeta())
+		b.Attach(testMeta())
+		feed(a, evs[:3])
+		feed(b, evs[3:])
+		if flip {
+			a, b = b, a
+		}
+		a.Merge(b)
+		var got Summary
+		a.Summarize(&got)
+		gj, _ := json.Marshal(got.Trace)
+		wj, _ := json.Marshal(want.Trace)
+		if string(gj) != string(wj) {
+			t.Errorf("merged summary (flip=%v) diverged:\n got  %s\n want %s", flip, gj, wj)
+		}
+	}
+
+	// Canonical order: cycle, then id, then kind.
+	for i := 1; i < len(want.Trace.Events); i++ {
+		p, c := want.Trace.Events[i-1], want.Trace.Events[i]
+		if p.Cycle > c.Cycle || (p.Cycle == c.Cycle && p.ID > c.ID) {
+			t.Fatalf("events not in canonical order: %+v before %+v", p, c)
+		}
+	}
+}
+
+func TestTraceMergeTypeMismatch(t *testing.T) {
+	tr := NewTrace(0, 4)
+	defer func() {
+		if recover() == nil {
+			t.Error("merging a trace with a histogram did not panic")
+		}
+	}()
+	tr.Merge(NewLatencyHist())
+}
+
+func TestTracePaths(t *testing.T) {
+	tr := NewTrace(0, 64)
+	tr.Attach(testMeta())
+	id := pktIDFor(3, 20)
+	tr.PacketInject(id, 6, 1, TagValiant, 20)
+	tr.PacketHop(id, 1, 2, 0, 21)
+	tr.PacketHop(id, 2, 0, 1, 23)
+	tr.PacketDeliver(id, 3, 2, 5, 25)
+	// A second packet missing its deliver event.
+	id2 := pktIDFor(4, 22)
+	tr.PacketInject(id2, 7, 2, TagMinimal, 22)
+	tr.PacketHop(id2, 2, 1, 0, 24)
+
+	var sum Summary
+	tr.Summarize(&sum)
+	paths := sum.Trace.Paths()
+	if len(paths) != 2 {
+		t.Fatalf("paths = %d, want 2", len(paths))
+	}
+	p := paths[0]
+	if p.ID != id || p.Src != 3 || p.Dst != 6 || p.Tag != TagValiant ||
+		p.Injected != 20 || p.Delivered != 25 || p.Latency != 5 || !p.Complete {
+		t.Errorf("reconstructed path = %+v", p)
+	}
+	if len(p.Hops) != 2 || p.Hops[0] != (TraceHopStep{Router: 1, Port: 2, VC: 0, Cycle: 21}) ||
+		p.Hops[1] != (TraceHopStep{Router: 2, Port: 0, VC: 1, Cycle: 23}) {
+		t.Errorf("reconstructed hops = %+v", p.Hops)
+	}
+	if q := paths[1]; q.Complete || q.Delivered != -1 || q.Injected != 22 {
+		t.Errorf("in-flight packet reconstructed as %+v", q)
+	}
+}
+
+func pktIDFor(src, birth int32) uint64 {
+	return uint64(uint32(src))<<32 | uint64(uint32(birth))
+}
+
+func TestTraceEventJSON(t *testing.T) {
+	e := TraceEvent{ID: pktIDFor(3, 20), Cycle: 21, Kind: TraceHop, Router: 1, Port: 2, VC: 1, Dst: -1, Hops: -1}
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TraceEvent
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != e {
+		t.Errorf("round trip: %+v != %+v", back, e)
+	}
+	if e.Src() != 3 || e.Birth() != 20 {
+		t.Errorf("id unpacking: src %d birth %d", e.Src(), e.Birth())
+	}
+	var probe struct {
+		Kind string `json:"kind"`
+		Tag  string `json:"tag"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		t.Fatal(err)
+	}
+	if probe.Kind != "hop" || probe.Tag != "min" {
+		t.Errorf("readable names: kind %q tag %q", probe.Kind, probe.Tag)
+	}
+	if err := json.Unmarshal([]byte(`{"kind":"bogus"}`), &back); err == nil {
+		t.Error("bogus kind accepted")
+	}
+}
+
+func TestTraceRegistered(t *testing.T) {
+	c, err := New("trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := c.(*Trace)
+	if !ok {
+		t.Fatalf("registry returned %T", c)
+	}
+	var sum Summary
+	tr.Attach(testMeta())
+	tr.Summarize(&sum)
+	if sum.Trace.SampleEvery != 1<<DefaultTraceShift || sum.Trace.Capacity != DefaultTraceCap {
+		t.Errorf("registry defaults: %+v", sum.Trace)
+	}
+	if tr.Clone().(*Trace).shift != tr.shift {
+		t.Error("clone dropped the sampling shift")
+	}
+}

@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer is a running debug HTTP listener serving /debug/vars
+// (expvar, including the "slimfly" instrument map) and /debug/pprof/*
+// (net/http/pprof). It exists so long-running processes can be inspected
+// with nothing but curl and `go tool pprof`.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeDebug starts the debug listener on addr (e.g. "localhost:6060";
+// ":0" picks a free port -- read it back with Addr). The handlers are
+// mounted on a private mux, not http.DefaultServeMux, so embedding
+// processes keep control of their own default mux.
+func ServeDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	publish() // ensure the slimfly map exists even before any instrument does
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// ErrServerClosed after Close is the normal shutdown path; any
+		// other serve error just ends the debug surface, never the run.
+		_ = srv.Serve(ln)
+	}()
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the listener's resolved address.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the listener and its handlers.
+func (d *DebugServer) Close() error { return d.srv.Close() }

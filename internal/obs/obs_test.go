@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInstrumentsAndSnapshot(t *testing.T) {
+	c := NewCounter("test.counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if NewCounter("test.counter") != c {
+		t.Error("NewCounter did not return the registered instance")
+	}
+
+	g := NewGauge("test.gauge")
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Errorf("gauge = %d, want 4", g.Value())
+	}
+
+	tm := NewTimer("test.timer")
+	tm.Observe(10 * time.Millisecond)
+	tm.Observe(30 * time.Millisecond)
+	st := tm.Stats()
+	if st.Count != 2 || st.TotalNS != int64(40*time.Millisecond) ||
+		st.MaxNS != int64(30*time.Millisecond) || st.AvgNS != int64(20*time.Millisecond) {
+		t.Errorf("timer stats = %+v", st)
+	}
+	sp := tm.Start()
+	if sp.End() < 0 {
+		t.Error("span duration negative")
+	}
+	if tm.Count() != 3 {
+		t.Errorf("span not recorded: count %d", tm.Count())
+	}
+
+	Publish("test.computed", func() any { return map[string]int{"x": 1} })
+
+	snap := Snapshot()
+	if snap["test.counter"] != int64(5) || snap["test.gauge"] != int64(4) {
+		t.Errorf("snapshot = %v", snap)
+	}
+	if _, ok := snap["test.timer"].(TimerStats); !ok {
+		t.Errorf("timer snapshot kind: %T", snap["test.timer"])
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Errorf("snapshot not marshalable: %v", err)
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	NewCounter("test.clash")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	NewGauge("test.clash")
+}
+
+// TestZeroValueUsable pins the embedding contract Progress relies on:
+// unregistered zero-value instruments work standalone.
+func TestZeroValueUsable(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var tm Timer
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Inc()
+				g.Add(1)
+				tm.Observe(time.Duration(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 800 || g.Value() != 800 || tm.Count() != 800 {
+		t.Errorf("concurrent updates lost: %d %d %d", c.Value(), g.Value(), tm.Count())
+	}
+	if tm.Stats().MaxNS != 99 {
+		t.Errorf("max = %d, want 99", tm.Stats().MaxNS)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	NewCounter("test.served").Add(42)
+	d, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + d.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	vars := get("/debug/vars")
+	if !json.Valid([]byte(vars)) {
+		t.Error("/debug/vars is not valid JSON")
+	}
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(vars), &all); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := all["slimfly"]; !ok {
+		t.Error("/debug/vars missing the slimfly instrument map")
+	}
+	if !strings.Contains(string(all["slimfly"]), `"test.served":42`) {
+		t.Errorf("slimfly map missing registered counter: %s", all["slimfly"])
+	}
+
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "goroutine") {
+		t.Error("/debug/pprof/ index missing profiles")
+	}
+	get("/debug/pprof/cmdline")
+}

@@ -3,10 +3,22 @@ package scenario
 import (
 	"sync"
 
+	"slimfly/internal/obs"
 	"slimfly/internal/route"
 	"slimfly/internal/sim"
 	"slimfly/internal/topo"
 	"slimfly/internal/traffic"
+)
+
+// Runtime telemetry (internal/obs): build spans and memoisation hit
+// counters across every Env in the process. "Hits" count resolutions
+// served from an existing entry; builds time the once-guarded
+// construction itself (topology + routing tables, pattern derivation).
+var (
+	obsTopoBuildSpan    = obs.NewTimer("scenario.build_topo")
+	obsTopoHits         = obs.NewCounter("scenario.topo_hits")
+	obsPatternBuildSpan = obs.NewTimer("scenario.build_pattern")
+	obsPatternHits      = obs.NewCounter("scenario.pattern_hits")
 )
 
 // Env resolves scenario specs into runnable simulator configurations,
@@ -54,12 +66,15 @@ func (e *Env) Topo(t TopoSpec) (topo.Topology, *route.Tables, error) {
 	t = t.Canonical()
 	e.mu.Lock()
 	b := e.topos[t]
-	if b == nil {
+	if b != nil {
+		obsTopoHits.Inc()
+	} else {
 		b = &builtTopo{}
 		e.topos[t] = b
 	}
 	e.mu.Unlock()
 	b.once.Do(func() {
+		defer obsTopoBuildSpan.Start().End()
 		b.tp, b.tb, b.err = BuildTopology(t)
 	})
 	return b.tp, b.tb, b.err
@@ -73,7 +88,9 @@ func (e *Env) Pattern(t TopoSpec, name string, seed uint64) (traffic.Pattern, er
 	k := patternKey{topo: t, name: name, seed: seed}
 	e.mu.Lock()
 	b := e.patterns[k]
-	if b == nil {
+	if b != nil {
+		obsPatternHits.Inc()
+	} else {
 		b = &builtPattern{}
 		e.patterns[k] = b
 	}
@@ -84,6 +101,7 @@ func (e *Env) Pattern(t TopoSpec, name string, seed uint64) (traffic.Pattern, er
 			b.err = err
 			return
 		}
+		defer obsPatternBuildSpan.Start().End()
 		b.pat, b.err = BuildPattern(name, tp, tb, seed)
 	})
 	return b.pat, b.err

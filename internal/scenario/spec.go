@@ -102,6 +102,15 @@ type SimParams struct {
 	// must occupy different cache slots. omitempty keeps metric-less
 	// specs byte-compatible with their pre-pipeline encoding (same hash
 	// input, modulo the format-version bump).
+	//
+	// The packet trace rides on the same rule: selecting "trace" changes
+	// the payload (the cached summary carries the sampled event stream),
+	// so trace configuration enters the key exactly as far as the name
+	// does -- and no further, because the collector's knobs (sampling
+	// shift, ring capacity) are fixed registry defaults, not spec fields.
+	// Were they ever made configurable they would have to join SimParams
+	// (and hence the key) explicitly; a name whose payload silently
+	// depended on out-of-key configuration would poison the cache.
 	Metrics string `json:"metrics,omitempty"`
 
 	// Workers is intra-simulation parallelism (sim.Config.Workers). It is

@@ -11,8 +11,12 @@ import (
 )
 
 // allCollectors is the full stock set, attached by name exactly as a
-// sweep spec or -metrics flag would.
-const allCollectors = "latency,channels,series,fairness"
+// sweep spec or -metrics flag would. It includes the sampled packet
+// trace, so every parity test below also pins that the traced event
+// stream is byte-identical across worker counts (deterministic id
+// sampling + canonical sort; the golden scenarios stay far below the
+// ring capacity, so no events are dropped).
+const allCollectors = "latency,channels,series,fairness,trace"
 
 // TestCollectorParityParallel is the metrics half of the parity wall:
 // on every golden scenario, the full stock collector set must produce a

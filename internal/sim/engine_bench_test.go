@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"slimfly/internal/metrics"
 	"slimfly/internal/route"
 	"slimfly/internal/topo/slimfly"
 	"slimfly/internal/traffic"
@@ -45,11 +46,13 @@ func newSteadySim(tb testing.TB, q, warm int, algo Algo, workers int, metricsSel
 // phase-split overhead, w4 is the CI speedup gate). MIN+hist attaches
 // the latency histogram -- the configuration that replaces RunDetailed's
 // per-packet latency appends -- and CI gates its overhead over plain MIN
-// at <5% per cycle. MIN+metrics runs the full stock collector set
-// (channel counters, series and per-source fairness add several hundred
-// KiB of scattered counter increments per cycle, so this one is
-// report-only). Run with -benchmem: every variant must report 0
-// allocs/op (see TestStepZeroAlloc).
+// at <5% per cycle. MIN+trace attaches the sampled packet trace at its
+// default 1-in-1024 sampling; CI gates its overhead over plain MIN at
+// <5% too (the hot cost is one hash per measured grant). MIN+metrics
+// runs the full stock collector set (channel counters, series and
+// per-source fairness add several hundred KiB of scattered counter
+// increments per cycle, so this one is report-only). Run with -benchmem:
+// every variant must report 0 allocs/op (see TestStepZeroAlloc).
 func BenchmarkEngineStep(b *testing.B) {
 	for _, c := range []struct {
 		name    string
@@ -58,7 +61,8 @@ func BenchmarkEngineStep(b *testing.B) {
 	}{
 		{"MIN", MIN{}, ""},
 		{"MIN+hist", MIN{}, "latency"},
-		{"MIN+metrics", MIN{}, "latency,channels,series,fairness"},
+		{"MIN+trace", MIN{}, "trace"},
+		{"MIN+metrics", MIN{}, "latency,channels,series,fairness,trace"},
 		{"UGAL-L", UGALL{}, ""},
 	} {
 		for _, workers := range []int{0, 1, 2, 4} {
@@ -106,5 +110,23 @@ func TestStepZeroAlloc(t *testing.T) {
 				}
 			})
 		}
+	}
+	// Trace attached but sampling cold: with the sampling shift at 63 no
+	// packet id ever matches, so every hot-path call is hash + mask +
+	// return -- which must stay allocation-free just like the warm path
+	// above (the ring is preallocated at Attach either way).
+	for _, workers := range []int{0, 1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("w%d+trace-cold", workers), func(t *testing.T) {
+			s := newSteadySim(t, 9, 2000, MIN{}, workers, "")
+			s.initMetrics(metrics.SetOf(metrics.NewTrace(63, 64)))
+			allocs := testing.AllocsPerRun(1000, func() {
+				s.step(true)
+				s.cycle++
+			})
+			if allocs != 0 {
+				t.Fatalf("cold-sampling trace step allocates: %v allocs/op, want 0", allocs)
+			}
+		})
 	}
 }

@@ -32,7 +32,14 @@ import (
 	"math/bits"
 	"slices"
 	"sync"
+
+	"slimfly/internal/obs"
 )
+
+// obsBarrierWaits counts decide-phase barrier synchronisations of the
+// phased engine: one per multi-worker cycle. A single atomic add on the
+// stepping goroutine, so the hot path stays allocation-free.
+var obsBarrierWaits = obs.NewCounter("sim.barrier_waits")
 
 // grantRec is one recorded allocation grant: input queue qi moves through
 // output port out (an ejection port when out >= degree) on next-hop VC vc.
@@ -209,6 +216,7 @@ func (s *Sim) stepPhased(inject bool) {
 		}
 		s.decideShard(&pe.shards[0])
 		pe.phaseWG.Wait()
+		obsBarrierWaits.Inc()
 	} else {
 		s.decideShard(&pe.shards[0])
 	}
@@ -456,6 +464,12 @@ func (s *Sim) commitGrant(r int32, rt *router, rec grantRec) {
 	p.VC = rec.vc
 	p.Hops++
 	rt.credits[out*cfg.NumVCs+int(rec.vc)]--
+	if s.colPkt && p.Measured {
+		// Mirrors the serial allocator's PacketHop site: commits replay in
+		// ascending router-id order, so the traced event stream is the
+		// same multiset at the same cycle stamps as the serial engine's.
+		s.colFor(r).PacketHop(pktID(p.Src, p.Birth), r, int32(out), rec.vc, s.cycle)
+	}
 	depart := s.cycle + int64(rt.outStaged[out])
 	p.ReadyAt = int32(depart + int64(cfg.ChannelDelay) + int64(cfg.RouterDelay))
 	rt.outStaged[out]++

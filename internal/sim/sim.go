@@ -26,10 +26,21 @@ import (
 	"slices"
 
 	"slimfly/internal/metrics"
+	"slimfly/internal/obs"
 	"slimfly/internal/route"
 	"slimfly/internal/stats"
 	"slimfly/internal/topo"
 	"slimfly/internal/traffic"
+)
+
+// Runtime telemetry (internal/obs): per-run phase timers and a run
+// counter, updated once per Run -- never inside step, so the engine's
+// zero-allocation steady-state contract is untouched.
+var (
+	obsRuns        = obs.NewCounter("sim.runs")
+	obsWarmupSpan  = obs.NewTimer("sim.phase.warmup")
+	obsMeasureSpan = obs.NewTimer("sim.phase.measure")
+	obsDrainSpan   = obs.NewTimer("sim.phase.drain")
 )
 
 // Config parameterises one simulation run.
@@ -247,6 +258,7 @@ type Sim struct {
 	cols       []*metrics.Set
 	colOf      []int32
 	colHop     bool // any collector observes hops (link-phase fast-path gate)
+	colPkt     bool // any collector observes per-packet events (trace fast-path gate)
 	colsMerged bool
 }
 
@@ -421,6 +433,7 @@ func (s *Sim) initMetrics(set *metrics.Set) {
 	}
 	s.colOf = nil
 	s.colHop = set.ObservesHops()
+	s.colPkt = set.ObservesPackets()
 	s.colsMerged = false
 	if ns > 1 {
 		s.colOf = make([]int32, s.nRouters)
@@ -431,6 +444,14 @@ func (s *Sim) initMetrics(set *metrics.Set) {
 			}
 		}
 	}
+}
+
+// pktID packs a packet's engine-invariant identity for the per-packet
+// trace hooks: an endpoint injects at most one packet per cycle, so
+// (src, birth) is unique, and both fields are part of the packet itself
+// -- no engine needs to thread a separate id through its pipeline.
+func pktID(src, birth int32) uint64 {
+	return uint64(uint32(src))<<32 | uint64(uint32(birth))
 }
 
 // colFor returns the collector set owning router r's observations.
@@ -543,16 +564,29 @@ func (s *Sim) Run() Result {
 			active++
 		}
 	}
+	obsRuns.Inc()
 	total := int64(cfg.Warmup + cfg.Measure)
 	s.windowEnd = total
-	for s.cycle = 0; s.cycle < total; s.cycle++ {
+	// The warmup/measure split below only carves the injection loop into
+	// two telemetry spans; the stepped sequence is identical.
+	warm := int64(cfg.Warmup)
+	sp := obsWarmupSpan.Start()
+	for s.cycle = 0; s.cycle < warm; s.cycle++ {
 		s.step(true)
 	}
+	sp.End()
+	sp = obsMeasureSpan.Start()
+	for s.cycle = warm; s.cycle < total; s.cycle++ {
+		s.step(true)
+	}
+	sp.End()
 	// Drain: stop injecting, let measured packets finish (bounded).
+	sp = obsDrainSpan.Start()
 	drainEnd := total + int64(cfg.Drain)
 	for s.cycle = total; s.cycle < drainEnd && s.inFlight > 0; s.cycle++ {
 		s.step(false)
 	}
+	sp.End()
 	res := Result{
 		Injected:    s.injected,
 		Delivered:   s.delivered,
@@ -672,6 +706,17 @@ func (s *Sim) injectPhase() {
 			s.inFlight++
 			if s.cols != nil {
 				s.colFor(r).Inject(int32(e), s.cycle)
+				if s.colPkt {
+					// The injection-time path decision: OnInject just ran, so
+					// a committed indirect route shows as Interm >= 0 with
+					// Phase 0 (VAL's degenerate self-route and UGAL's minimal
+					// pick both leave Phase 1 or Interm -1).
+					tag := metrics.TagMinimal
+					if pkt.Interm >= 0 && pkt.Phase == 0 {
+						tag = metrics.TagValiant
+					}
+					s.colFor(r).PacketInject(pktID(pkt.Src, pkt.Birth), pkt.Dst, r, tag, s.cycle)
+				}
 			}
 		}
 	}
@@ -906,6 +951,9 @@ func (s *Sim) allocate(r int32, rt *router) {
 			p.VC = nextVC
 			p.Hops++
 			rt.credits[out*cfg.NumVCs+int(nextVC)]--
+			if s.colPkt && p.Measured {
+				s.colFor(r).PacketHop(pktID(p.Src, p.Birth), r, int32(out), nextVC, s.cycle)
+			}
 			// Deliver downstream immediately. The flit departs onto the
 			// link only after the flits already staged on this output
 			// (one per cycle), and then pays the channel and pipeline
@@ -965,6 +1013,9 @@ func (s *Sim) deliver(r int32, p *Packet) {
 	lat := s.cycle - int64(p.Birth)
 	if s.cols != nil {
 		s.colFor(r).Deliver(p.Src, int32(p.Hops), lat, s.cycle)
+		if s.colPkt {
+			s.colFor(r).PacketDeliver(pktID(p.Src, p.Birth), r, int32(p.Hops), lat, s.cycle)
+		}
 	}
 	s.latSum += lat
 	s.hopSum += int64(p.Hops)

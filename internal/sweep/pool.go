@@ -9,7 +9,22 @@ import (
 	"time"
 
 	"slimfly/internal/metrics"
+	"slimfly/internal/obs"
 	"slimfly/internal/sim"
+)
+
+// Runtime telemetry (internal/obs) for the pool, aggregated across every
+// concurrently running sweep in the process; /debug/vars exposes them
+// when a CLI enables -debug-addr. A Progress handed in via
+// Options.Progress is a per-sweep consumer of the same signals.
+var (
+	obsQueueDepth  = obs.NewGauge("sweep.queue_depth")   // expanded but unclaimed jobs
+	obsInFlight    = obs.NewGauge("sweep.jobs_inflight") // claimed, still executing
+	obsJobsDone    = obs.NewCounter("sweep.jobs_done")
+	obsJobsFailed  = obs.NewCounter("sweep.jobs_failed")
+	obsCacheHits   = obs.NewCounter("sweep.cache_hits")
+	obsCacheMisses = obs.NewCounter("sweep.cache_misses")
+	obsJobSpan     = obs.NewTimer("sweep.job") // executed (non-cached) jobs only
 )
 
 // JobResult is the outcome of one sweep point. Metrics carries the
@@ -51,6 +66,11 @@ type Options struct {
 	// OnDone, when non-nil, is called once per finished job, from worker
 	// goroutines (it must be safe for concurrent use).
 	OnDone func(index int, r JobResult)
+	// Progress, when non-nil, is fed by the pool itself: claims appear as
+	// in-flight and finished jobs advance the counters. Callers that hand
+	// a Progress here must not also Observe from OnDone, or jobs are
+	// counted twice.
+	Progress *Progress
 }
 
 // SplitParallelism divides ncores between the two levels of parallelism:
@@ -154,6 +174,7 @@ func RunTasks(ctx context.Context, tasks []Task, opts Options) ([]JobResult, Sta
 
 	results := make([]JobResult, len(tasks))
 	reached := make([]bool, len(tasks)) // each index claimed exactly once
+	obsQueueDepth.Add(int64(len(tasks)))
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
@@ -170,8 +191,21 @@ func RunTasks(ctx context.Context, tasks []Task, opts Options) ([]JobResult, Sta
 					if !ok {
 						break
 					}
+					obsQueueDepth.Add(-1)
+					obsInFlight.Add(1)
+					if opts.Progress != nil {
+						opts.Progress.jobStarted()
+					}
 					results[idx] = runOne(tasks[idx], opts.Cache, opts.SimWorkers)
 					reached[idx] = true
+					obsInFlight.Add(-1)
+					obsJobsDone.Inc()
+					if results[idx].Err != "" {
+						obsJobsFailed.Inc()
+					}
+					if opts.Progress != nil {
+						opts.Progress.Observe(results[idx])
+					}
 					if opts.OnDone != nil {
 						opts.OnDone(idx, results[idx])
 					}
@@ -185,6 +219,7 @@ func RunTasks(ctx context.Context, tasks []Task, opts Options) ([]JobResult, Sta
 	for i := range results {
 		if !reached[i] {
 			st.Skipped++
+			obsQueueDepth.Add(-1) // claimed by nobody: cancelled before reach
 			continue
 		}
 		switch {
@@ -214,11 +249,13 @@ func runOne(t Task, cache *Cache, simWorkers int) (jr JobResult) {
 	}()
 	if cache != nil && t.Key != "" {
 		if e, ok := cache.Get(t.Key); ok {
+			obsCacheHits.Inc()
 			jr.Result = e.Result
 			jr.Metrics = e.Metrics
 			jr.Cached = true
 			return jr
 		}
+		obsCacheMisses.Inc()
 	}
 	cfg, err := t.Build()
 	if err != nil {
@@ -228,6 +265,7 @@ func runOne(t Task, cache *Cache, simWorkers int) (jr JobResult) {
 	if cfg.Workers == 0 && simWorkers > 1 {
 		cfg.Workers = simWorkers
 	}
+	defer obsJobSpan.Start().End()
 	start := time.Now()
 	res, sum, err := sim.RunSummary(cfg)
 	if err != nil {

@@ -2,24 +2,30 @@ package sweep
 
 import (
 	"fmt"
-	"sync"
 	"time"
+
+	"slimfly/internal/obs"
 )
 
-// Progress is a thread-safe counter set for a running sweep, suitable as
-// an Options.OnDone sink. It estimates the remaining wall time from the
-// average execution time of the jobs simulated so far, divided across the
-// pool width (cache hits are treated as free).
+// Progress tracks a running sweep on lock-free obs instruments (the
+// counters are unregistered instances of the same atomic primitives the
+// global telemetry uses), so Observe from many workers and Snapshot from
+// a progress-printing goroutine never contend on a lock. The pool feeds
+// it directly when handed via Options.Progress; it also works as a plain
+// Options.OnDone sink. The ETA estimates remaining wall time from the
+// average execution time of the jobs simulated so far, divided across
+// the effective parallelism (cache hits are treated as free).
 type Progress struct {
-	mu       sync.Mutex
-	total    int
-	workers  int
-	done     int
-	cached   int
-	failed   int
-	executed int
-	execSecs float64
-	start    time.Time
+	total   int
+	workers int
+	start   time.Time
+
+	started  obs.Counter // claimed by the pool (Options.Progress path only)
+	done     obs.Counter
+	cached   obs.Counter
+	failed   obs.Counter
+	executed obs.Counter
+	execNS   obs.Counter // summed execution time of executed jobs
 }
 
 // NewProgress returns a tracker for a sweep of total jobs on workers
@@ -31,47 +37,72 @@ func NewProgress(total, workers int) *Progress {
 	return &Progress{total: total, workers: workers, start: time.Now()}
 }
 
+// jobStarted marks one job claimed by a pool worker; paired with the
+// Observe call when it finishes, it makes in-flight counts visible.
+func (p *Progress) jobStarted() { p.started.Inc() }
+
 // Observe records one finished job. Safe for concurrent use.
 func (p *Progress) Observe(r JobResult) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.done++
 	switch {
 	case r.Err != "":
-		p.failed++
+		p.failed.Inc()
 	case r.Cached:
-		p.cached++
+		p.cached.Inc()
 	default:
-		p.executed++
-		p.execSecs += r.Elapsed
+		p.executed.Inc()
+		p.execNS.Add(int64(r.Elapsed * float64(time.Second)))
 	}
+	p.done.Inc() // last: a snapshot's done never exceeds its breakdown
 }
 
-// Snapshot is a point-in-time view of a sweep's progress.
+// Snapshot is a point-in-time view of a sweep's progress. The JSON tags
+// serve the expvar surface: sfsweep publishes its live snapshot as
+// slimfly.sweep_progress on /debug/vars, in the same lowercase style as
+// the rest of the page.
 type Snapshot struct {
-	Total, Done, Cached, Failed, Executed int
-	Elapsed                               time.Duration
-	ETA                                   time.Duration // 0 when unknown or finished
+	Total      int           `json:"total"`
+	Done       int           `json:"done"`
+	Cached     int           `json:"cached"`
+	Failed     int           `json:"failed"`
+	Executed   int           `json:"executed"`
+	InFlight   int           `json:"in_flight"` // claimed but unfinished (pool-fed trackers only)
+	Elapsed    time.Duration `json:"elapsed_ns"`
+	ETA        time.Duration `json:"eta_ns"`       // 0 when unknown or finished
+	JobsPerSec float64       `json:"jobs_per_sec"` // finished jobs per wall-clock second
 }
 
-// Snapshot returns the current counters and ETA.
+// Snapshot returns the current counters, rate and ETA.
 func (p *Progress) Snapshot() Snapshot {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	s := Snapshot{
-		Total: p.total, Done: p.done, Cached: p.cached,
-		Failed: p.failed, Executed: p.executed,
-		Elapsed: time.Since(p.start),
+		Total:    p.total,
+		Done:     int(p.done.Value()),
+		Cached:   int(p.cached.Value()),
+		Failed:   int(p.failed.Value()),
+		Executed: int(p.executed.Value()),
+		Elapsed:  time.Since(p.start),
 	}
-	remaining := p.total - p.done
-	if remaining > 0 && p.executed > 0 {
-		perJob := p.execSecs / float64(p.executed)
+	if inflight := int(p.started.Value()) - s.Done; inflight > 0 {
+		s.InFlight = inflight
+	}
+	if s.Done > 0 && s.Elapsed > 0 {
+		s.JobsPerSec = float64(s.Done) / s.Elapsed.Seconds()
+	}
+	remaining := p.total - s.Done
+	if remaining > 0 && s.Executed > 0 {
+		perJob := time.Duration(p.execNS.Value() / int64(s.Executed))
 		// Cache hits are near-free, so scale the remaining count by the
 		// observed execution ratio: resuming a mostly cached sweep should
 		// not forecast full-cost work for points that will be served from
 		// disk.
-		execRatio := float64(p.executed) / float64(p.done)
-		s.ETA = time.Duration(perJob * float64(remaining) * execRatio / float64(p.workers) * float64(time.Second))
+		execRatio := float64(s.Executed) / float64(s.Done)
+		// The tail of a sweep cannot use the full pool: with fewer jobs
+		// left than workers, the last wave's wall time is one per-job time,
+		// not perJob/workers (the old formula's tail underestimate).
+		width := p.workers
+		if remaining < width {
+			width = remaining
+		}
+		s.ETA = time.Duration(float64(perJob) * float64(remaining) * execRatio / float64(width))
 	}
 	return s
 }
@@ -80,6 +111,9 @@ func (p *Progress) Snapshot() Snapshot {
 func (s Snapshot) String() string {
 	line := fmt.Sprintf("%d/%d done (%d run, %d cached, %d failed)",
 		s.Done, s.Total, s.Executed, s.Cached, s.Failed)
+	if s.JobsPerSec > 0 {
+		line += fmt.Sprintf(", %.1f jobs/s", s.JobsPerSec)
+	}
 	if s.ETA > 0 {
 		line += fmt.Sprintf(", eta %s", s.ETA.Round(time.Second))
 	}

@@ -1,0 +1,129 @@
+package sweep
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// observeN feeds n finished jobs: executed ones carry elapsed seconds,
+// cached ones are free.
+func observeN(p *Progress, executed int, elapsed float64, cached int) {
+	for i := 0; i < executed; i++ {
+		p.Observe(JobResult{Elapsed: elapsed})
+	}
+	for i := 0; i < cached; i++ {
+		p.Observe(JobResult{Cached: true})
+	}
+}
+
+// TestProgressETATailClamp pins the tail fix: with fewer jobs remaining
+// than pool workers, the divisor is the remaining count, not the full
+// pool width -- the last wave takes one per-job time regardless of how
+// many idle workers watch it.
+func TestProgressETATailClamp(t *testing.T) {
+	p := NewProgress(100, 8)
+	observeN(p, 96, 1.0, 0) // 4 remaining < 8 workers
+	s := p.Snapshot()
+	// perJob 1s, execRatio 1, remaining 4, width min(8, 4) = 4 -> 1s.
+	if s.ETA != time.Second {
+		t.Errorf("tail ETA = %v, want 1s (old formula: 500ms)", s.ETA)
+	}
+
+	// Mid-sweep the full width still applies: 50 remaining across 8.
+	p = NewProgress(100, 8)
+	observeN(p, 50, 1.0, 0)
+	if s := p.Snapshot(); s.ETA != time.Duration(50.0/8*float64(time.Second)) {
+		t.Errorf("mid-sweep ETA = %v, want 6.25s", s.ETA)
+	}
+}
+
+// TestProgressETAExecRatio pins the cached-jobs scaling: with half the
+// finished jobs served from cache, only half the remaining count is
+// forecast at full cost.
+func TestProgressETAExecRatio(t *testing.T) {
+	p := NewProgress(10, 3)
+	observeN(p, 2, 2.0, 2) // done 4: 2 executed at 2s, 2 cached
+	s := p.Snapshot()
+	// perJob 2s, execRatio 0.5, remaining 6, width 3 -> 2s.
+	if s.ETA != 2*time.Second {
+		t.Errorf("mixed cached/executed ETA = %v, want 2s", s.ETA)
+	}
+}
+
+// TestProgressETAUnknowns pins the no-estimate cases: zero executed jobs
+// (all cached or failed so far) and a finished sweep both report ETA 0.
+func TestProgressETAUnknowns(t *testing.T) {
+	p := NewProgress(10, 2)
+	observeN(p, 0, 0, 3)
+	p.Observe(JobResult{Err: "boom"})
+	if s := p.Snapshot(); s.ETA != 0 {
+		t.Errorf("zero-executed ETA = %v, want 0", s.ETA)
+	}
+
+	p = NewProgress(2, 2)
+	observeN(p, 2, 1.0, 0)
+	s := p.Snapshot()
+	if s.ETA != 0 {
+		t.Errorf("finished-sweep ETA = %v, want 0", s.ETA)
+	}
+	if s.Done != 2 || s.Executed != 2 {
+		t.Errorf("finished snapshot = %+v", s)
+	}
+}
+
+// TestProgressRateAndString pins the jobs/sec surface: the snapshot
+// carries a positive rate once jobs finish, and String renders it.
+func TestProgressRateAndString(t *testing.T) {
+	p := NewProgress(10, 2)
+	observeN(p, 2, 0.5, 1)
+	s := p.Snapshot()
+	if s.JobsPerSec <= 0 {
+		t.Errorf("JobsPerSec = %v with 3 done", s.JobsPerSec)
+	}
+	line := s.String()
+	if !strings.Contains(line, "jobs/s") {
+		t.Errorf("String() missing rate: %q", line)
+	}
+	if !strings.Contains(line, "3/10 done") || !strings.Contains(line, "2 run, 1 cached") {
+		t.Errorf("String() = %q", line)
+	}
+	if empty := (Snapshot{}).String(); strings.Contains(empty, "jobs/s") || strings.Contains(empty, "eta") {
+		t.Errorf("zero snapshot renders rate or eta: %q", empty)
+	}
+}
+
+// TestProgressPoolFed pins the Options.Progress wiring: the pool feeds
+// claims and completions itself, in-flight returns to zero, and the
+// counters match the pool's own Stats.
+func TestProgressPoolFed(t *testing.T) {
+	spec := &Spec{
+		Name:     "pool-fed",
+		Topos:    []TopoSpec{{Kind: "SF", Q: 5}},
+		Algos:    []string{"min"},
+		Patterns: []string{"uniform"},
+		Loads:    []float64{0.1, 0.2},
+		Seeds:    []uint64{1, 2, 3},
+		Sim:      SimParams{Warmup: 10, Measure: 20, Drain: 200},
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProgress(len(jobs), 2)
+	results, st, err := RunJobs(context.Background(), jobs, NewEnv(), Options{Workers: 2, Progress: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("results = %d", len(results))
+	}
+	s := p.Snapshot()
+	if s.Done != st.Total || s.Executed != st.Executed || s.Failed != st.Failed {
+		t.Errorf("progress %+v != stats %+v", s, st)
+	}
+	if s.InFlight != 0 {
+		t.Errorf("in-flight = %d after the pool drained", s.InFlight)
+	}
+}
