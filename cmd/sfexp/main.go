@@ -18,9 +18,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"slimfly/internal/cost"
 	"slimfly/internal/exp"
@@ -64,6 +68,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sfexp: -exp required (use -list for ids)")
 		os.Exit(2)
 	}
+
+	// Ctrl-C / SIGTERM cancels the experiment pool. The exp API returns
+	// tables, not errors, so cancellation surfaces as a panic carrying the
+	// context error; recover it into the conventional interrupt exit code
+	// instead of a goroutine dump.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	exp.SetContext(ctx)
+	defer func() {
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "sfexp: interrupted")
+				os.Exit(130)
+			}
+			panic(r)
+		}
+	}()
 
 	sc := exp.SmallScale()
 	switch *scale {

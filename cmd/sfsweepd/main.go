@@ -1,0 +1,114 @@
+// Command sfsweepd runs the sweep service: a long-lived HTTP/JSON server
+// that accepts the same sweep specs `sfsweep -spec` reads, executes them
+// on a shared fair-share pool and serves results from (and into) one
+// content-addressed cache. Many clients submit concurrently; a huge sweep
+// cannot starve a small one, and any point another client already
+// computed is a cache hit.
+//
+// Usage:
+//
+//	sfsweepd -addr :8080 -cache /var/lib/sfsweepd/cache
+//	curl -d @examples/sweeps/quick.json localhost:8080/api/v1/sweeps
+//	curl localhost:8080/api/v1/sweeps/sw-1/events      # SSE: live results
+//	curl localhost:8080/api/v1/sweeps/sw-1/results?format=csv
+//
+// SIGINT/SIGTERM triggers a graceful drain: no new claims, in-flight
+// simulations finish and commit to the cache, queued sweeps are marked
+// interrupted, then the process exits. Because every finished point is
+// cached, restarting the server and resubmitting the same specs resumes
+// exactly where the drain stopped -- as does running `sfsweep` against
+// the same cache directory.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"slimfly/internal/sweep"
+	"slimfly/internal/sweepd"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		cacheDir = flag.String("cache", "sweepd-cache", "result cache directory (shared with sfsweep; empty disables caching and resume)")
+		workers  = flag.Int("workers", 0, "core budget for the pool (default: one per core)")
+		simW     = flag.Int("sim-workers", 0, "intra-simulation workers per job (0 = auto-split against the live queue depth; results are identical either way)")
+		drainT   = flag.Duration("drain-timeout", 10*time.Minute, "on SIGTERM, give in-flight jobs this long to finish and commit (0 waits forever)")
+		debug    = flag.Bool("debug", true, "mount /debug/vars and /debug/pprof on the service address")
+	)
+	flag.Parse()
+
+	var cache *sweep.Cache
+	if *cacheDir != "" {
+		var err error
+		if cache, err = sweep.OpenCache(*cacheDir); err != nil {
+			fail(err)
+		}
+	}
+	srv := sweepd.New(sweepd.Config{
+		Cache:      cache,
+		Workers:    *workers,
+		SimWorkers: *simW,
+		Debug:      *debug,
+	})
+	srv.Start()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	if cache != nil {
+		fmt.Fprintf(os.Stderr, "sfsweepd: listening on %s, cache %s\n", *addr, cache.Dir())
+	} else {
+		fmt.Fprintf(os.Stderr, "sfsweepd: listening on %s, NO cache (results are not resumable)\n", *addr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	fmt.Fprintln(os.Stderr, "sfsweepd: draining (waiting for in-flight jobs; interrupt again to abandon)")
+	dctx := context.Background()
+	if *drainT > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(dctx, *drainT)
+		defer cancel()
+	}
+	drainErr := srv.Drain(dctx)
+	// Stop accepting connections and let streaming subscribers unwind;
+	// every event stream was closed by the drain, so this returns quickly.
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		hs.Close()
+	}
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "sfsweepd: drain abandoned: %v\n", drainErr)
+		os.Exit(130)
+	}
+	fmt.Fprintln(os.Stderr, "sfsweepd: drained; finished points are cached, resubmit to resume")
+}
+
+func fail(err error) {
+	if errors.Is(err, http.ErrServerClosed) {
+		return
+	}
+	fmt.Fprintln(os.Stderr, "sfsweepd:", err)
+	os.Exit(1)
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync/atomic"
 
 	"slimfly/internal/metrics"
 	"slimfly/internal/route"
@@ -60,6 +61,25 @@ type perfNetworks struct {
 	sfTb *route.Tables
 	dfTb *route.Tables
 	ftTb *route.Tables
+}
+
+// runCtx is the context the experiment pools run under. Experiments
+// return Tables, not errors, so cancellation surfaces as a panic with
+// the context error (see runAll); SetContext lets the sfexp binary make
+// that panic fire on SIGINT/SIGTERM instead of leaving a long
+// paper-scale run uninterruptible.
+var runCtx atomic.Value // context.Context
+
+// SetContext installs the context simulator-backed experiments (Fig6*,
+// Fig8*) are cancelled through. Without it they run under
+// context.Background -- existing callers and tests are unaffected.
+func SetContext(ctx context.Context) { runCtx.Store(ctx) }
+
+func runContext() context.Context {
+	if v := runCtx.Load(); v != nil {
+		return v.(context.Context)
+	}
+	return context.Background()
 }
 
 // perfEnv memoises topology construction and routing-table builds (which
@@ -120,7 +140,7 @@ func runAll(specs []runSpec, sc PerfScale, seed uint64, metricsSel string) ([]si
 			}, nil
 		}}
 	}
-	jrs, _, err := sweep.RunTasks(context.Background(), tasks, perfOptions(len(tasks)))
+	jrs, _, err := sweep.RunTasks(runContext(), tasks, perfOptions(len(tasks)))
 	if err != nil {
 		panic(err)
 	}
@@ -155,7 +175,7 @@ func runConfigs(cfgs []sim.Config) ([]sim.Result, []*metrics.Summary) {
 		cfg := cfgs[i]
 		tasks[i] = sweep.Task{Build: func() (sim.Config, error) { return cfg, nil }}
 	}
-	jrs, _, err := sweep.RunTasks(context.Background(), tasks, perfOptions(len(tasks)))
+	jrs, _, err := sweep.RunTasks(runContext(), tasks, perfOptions(len(tasks)))
 	if err != nil {
 		panic(err)
 	}

@@ -3,6 +3,7 @@ package export
 import (
 	"bytes"
 	"encoding/csv"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -134,5 +135,53 @@ func TestSweepJSONRoundTrip(t *testing.T) {
 	}
 	if got.Spec == nil || got.Spec.Name != "rt" {
 		t.Errorf("spec round-trip: %+v", got.Spec)
+	}
+}
+
+// TestSweepStreams: the incremental emitters produce byte-identical CSV
+// to the one-shot writer (they share the row code) and JSONL lines that
+// decode back to the results.
+func TestSweepStreams(t *testing.T) {
+	results := sampleResults()
+
+	var oneShot, streamed bytes.Buffer
+	if err := WriteSweepCSV(&oneShot, results); err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewSweepCSVStream(&streamed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if err := st.Write(r); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Flush(); err != nil { // per-row flush, as a live response would
+			t.Fatal(err)
+		}
+	}
+	if oneShot.String() != streamed.String() {
+		t.Errorf("streamed CSV differs from one-shot CSV:\n%q\nvs\n%q", streamed.String(), oneShot.String())
+	}
+
+	var jl bytes.Buffer
+	js := NewSweepJSONLStream(&jl)
+	for _, r := range results {
+		if err := js.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(jl.String(), "\n"), "\n")
+	if len(lines) != len(results) {
+		t.Fatalf("jsonl lines = %d, want %d", len(lines), len(results))
+	}
+	for i, ln := range lines {
+		var r sweep.JobResult
+		if err := json.Unmarshal([]byte(ln), &r); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if r.Err != results[i].Err || r.Cached != results[i].Cached {
+			t.Errorf("line %d round-trip mismatch: %+v", i, r)
+		}
 	}
 }

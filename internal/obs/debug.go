@@ -18,15 +18,12 @@ type DebugServer struct {
 	srv *http.Server
 }
 
-// ServeDebug starts the debug listener on addr (e.g. "localhost:6060";
-// ":0" picks a free port -- read it back with Addr). The handlers are
-// mounted on a private mux, not http.DefaultServeMux, so embedding
-// processes keep control of their own default mux.
-func ServeDebug(addr string) (*DebugServer, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("obs: debug listener: %w", err)
-	}
+// DebugHandler returns the debug handler tree -- /debug/vars (expvar,
+// including the "slimfly" instrument map) and /debug/pprof/* -- for
+// mounting on a caller-owned mux. Servers that already listen (sfsweepd)
+// mount this under /debug/ instead of opening a second listener;
+// ServeDebug remains the standalone-listener convenience for the CLIs.
+func DebugHandler() http.Handler {
 	publish() // ensure the slimfly map exists even before any instrument does
 	mux := http.NewServeMux()
 	mux.Handle("/debug/vars", expvar.Handler())
@@ -35,7 +32,19 @@ func ServeDebug(addr string) (*DebugServer, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return mux
+}
+
+// ServeDebug starts the debug listener on addr (e.g. "localhost:6060";
+// ":0" picks a free port -- read it back with Addr). The handlers are
+// DebugHandler's, mounted on a private mux, not http.DefaultServeMux, so
+// embedding processes keep control of their own default mux.
+func ServeDebug(addr string) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: DebugHandler(), ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		// ErrServerClosed after Close is the normal shutdown path; any
 		// other serve error just ends the debug surface, never the run.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -138,4 +139,39 @@ func TestServeDebug(t *testing.T) {
 		t.Error("/debug/pprof/ index missing profiles")
 	}
 	get("/debug/pprof/cmdline")
+}
+
+// TestDebugHandler: the handler tree mounts on a caller-owned mux (the
+// sfsweepd pattern) and serves the same surfaces as the standalone
+// listener.
+func TestDebugHandler(t *testing.T) {
+	NewCounter("test.mounted").Add(7)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/", DebugHandler())
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || !json.Valid(body) {
+		t.Fatalf("GET /debug/vars: status %d, valid-json %v", resp.StatusCode, json.Valid(body))
+	}
+	if !strings.Contains(string(body), `"test.mounted":7`) {
+		t.Errorf("mounted handler missing registered counter: %s", body)
+	}
+	pp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != http.StatusOK {
+		t.Errorf("GET /debug/pprof/: status %d", pp.StatusCode)
+	}
 }

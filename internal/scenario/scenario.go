@@ -57,11 +57,13 @@ type Info struct {
 
 // UnknownError reports a name that is not registered on its axis; Known
 // enumerates the valid names so callers (CLI flag parsing, spec
-// validation) never need to maintain their own lists.
+// validation) never need to maintain their own lists. The JSON tags make
+// the error directly embeddable in structured API responses: sfsweepd's
+// 400 bodies carry the failing axis/name and the valid names verbatim.
 type UnknownError struct {
-	Axis  Axis
-	Name  string
-	Known []string
+	Axis  Axis     `json:"axis"`
+	Name  string   `json:"name"`
+	Known []string `json:"known"`
 }
 
 // Error implements error.
@@ -74,10 +76,10 @@ func (e *UnknownError) Error() string {
 // e.g. the fat-tree-only ANCA algorithm on a Slim Fly. It replaces the
 // ad-hoc os.Exit checks the CLIs used to carry.
 type IncompatibleError struct {
-	Axis   Axis   // axis of the rejected selection (Algos or Patterns)
-	Name   string // the selected name, e.g. "anca"
-	Topo   string // the topology it cannot pair with
-	Reason string
+	Axis   Axis   `json:"axis"`   // axis of the rejected selection (Algos or Patterns)
+	Name   string `json:"name"`   // the selected name, e.g. "anca"
+	Topo   string `json:"topo"`   // the topology it cannot pair with
+	Reason string `json:"reason"` // human-readable constraint, e.g. "requires a 3-level fat tree"
 }
 
 // Error implements error.

@@ -3,8 +3,11 @@ package sweep
 import (
 	"encoding/json"
 	"fmt"
+	"io/fs"
+	"iter"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"slimfly/internal/metrics"
@@ -125,15 +128,39 @@ func (c *Cache) Put(key string, e Entry) error {
 	return nil
 }
 
-// Len walks the cache and counts valid-looking entries (by extension; it
-// does not decode them). Intended for tooling and tests.
-func (c *Cache) Len() int {
+// Keys iterates the keys of every valid-looking entry present on disk
+// (by path shape; entries are not decoded), in walk order. A walk error
+// is yielded with an empty key and ends the iteration: the caller always
+// learns about an unreadable cache instead of mistaking it for an empty
+// one. The server's /api/v1/results index handler streams directly from
+// this iterator, so listing a large cache never materialises the key set.
+func (c *Cache) Keys() iter.Seq2[string, error] {
+	return func(yield func(string, error) bool) {
+		_ = filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, walkErr error) error {
+			if walkErr != nil {
+				yield("", walkErr)
+				return fs.SkipAll
+			}
+			if d.IsDir() || filepath.Ext(path) != ".json" {
+				return nil
+			}
+			if !yield(strings.TrimSuffix(filepath.Base(path), ".json"), nil) {
+				return fs.SkipAll
+			}
+			return nil
+		})
+	}
+}
+
+// Len counts the entries on disk (via Keys; entries are not decoded).
+// Intended for tooling and tests.
+func (c *Cache) Len() (int, error) {
 	n := 0
-	filepath.Walk(c.dir, func(path string, info os.FileInfo, err error) error {
-		if err == nil && !info.IsDir() && filepath.Ext(path) == ".json" {
-			n++
+	for _, err := range c.Keys() {
+		if err != nil {
+			return n, err
 		}
-		return nil
-	})
-	return n
+		n++
+	}
+	return n, nil
 }

@@ -198,17 +198,37 @@ func TestCacheLen(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := c.Len(); n != 0 {
-		t.Fatalf("empty cache Len = %d", n)
+	if n, err := c.Len(); err != nil || n != 0 {
+		t.Fatalf("empty cache Len = %d, %v", n, err)
 	}
+	keys := make(map[string]bool)
 	for i := 0; i < 5; i++ {
 		j := testJobWithLoad(float64(i+1) / 10)
 		if err := c.Put(j.Key(), Entry{Job: j}); err != nil {
 			t.Fatal(err)
 		}
+		keys[j.Key()] = true
 	}
-	if n := c.Len(); n != 5 {
-		t.Errorf("Len = %d, want 5", n)
+	if n, err := c.Len(); err != nil || n != 5 {
+		t.Errorf("Len = %d, %v, want 5", n, err)
+	}
+	// Keys yields exactly the stored keys, each once, with no error.
+	seen := 0
+	for k, err := range c.Keys() {
+		if err != nil {
+			t.Fatalf("Keys error: %v", err)
+		}
+		if !keys[k] {
+			t.Errorf("Keys yielded unknown key %q", k)
+		}
+		seen++
+	}
+	if seen != 5 {
+		t.Errorf("Keys yielded %d keys, want 5", seen)
+	}
+	// Early break must not panic or keep walking.
+	for range c.Keys() {
+		break
 	}
 }
 

@@ -192,17 +192,11 @@ func RunTasks(ctx context.Context, tasks []Task, opts Options) ([]JobResult, Sta
 						break
 					}
 					obsQueueDepth.Add(-1)
-					obsInFlight.Add(1)
 					if opts.Progress != nil {
-						opts.Progress.jobStarted()
+						opts.Progress.JobStarted()
 					}
-					results[idx] = runOne(tasks[idx], opts.Cache, opts.SimWorkers)
+					results[idx] = Execute(tasks[idx], opts.Cache, opts.SimWorkers)
 					reached[idx] = true
-					obsInFlight.Add(-1)
-					obsJobsDone.Inc()
-					if results[idx].Err != "" {
-						obsJobsFailed.Inc()
-					}
 					if opts.Progress != nil {
 						opts.Progress.Observe(results[idx])
 					}
@@ -232,6 +226,25 @@ func RunTasks(ctx context.Context, tasks []Task, opts Options) ([]JobResult, Sta
 		}
 	}
 	return results, st, ctx.Err()
+}
+
+// Execute runs one task synchronously -- cache lookup, lazy build,
+// simulate, cache store -- exactly as a pool worker would, updating the
+// same process telemetry (in-flight/done/failed, cache hits, job span).
+// It is the claim hook for external schedulers: the sfsweepd fair-share
+// service decides claim order its own way (round-robin across queued
+// sweeps) but executes each claimed job through this one path, so a
+// result is bit-identical whether it came from RunTasks, the service, or
+// a resumed run of either.
+func Execute(t Task, cache *Cache, simWorkers int) JobResult {
+	obsInFlight.Add(1)
+	jr := runOne(t, cache, simWorkers)
+	obsInFlight.Add(-1)
+	obsJobsDone.Inc()
+	if jr.Err != "" {
+		obsJobsFailed.Inc()
+	}
+	return jr
 }
 
 // runOne executes a single task: cache lookup, lazy build, simulate,

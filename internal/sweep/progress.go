@@ -37,9 +37,11 @@ func NewProgress(total, workers int) *Progress {
 	return &Progress{total: total, workers: workers, start: time.Now()}
 }
 
-// jobStarted marks one job claimed by a pool worker; paired with the
-// Observe call when it finishes, it makes in-flight counts visible.
-func (p *Progress) jobStarted() { p.started.Inc() }
+// JobStarted marks one job claimed by a worker; paired with the Observe
+// call when it finishes, it makes in-flight counts visible. The pool
+// calls it for trackers handed in via Options.Progress; external
+// schedulers (the sfsweepd service) call it at their own claim points.
+func (p *Progress) JobStarted() { p.started.Inc() }
 
 // Observe records one finished job. Safe for concurrent use.
 func (p *Progress) Observe(r JobResult) {

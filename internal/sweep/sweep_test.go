@@ -155,8 +155,8 @@ func TestSweepFailedJob(t *testing.T) {
 			t.Errorf("failed job carries no error: %+v", r)
 		}
 	}
-	if n := cache.Len(); n != 0 {
-		t.Errorf("failures were cached: %d entries", n)
+	if n, err := cache.Len(); err != nil || n != 0 {
+		t.Errorf("failures were cached: %d entries (err %v)", n, err)
 	}
 }
 

@@ -1,0 +1,191 @@
+package sweepd
+
+import (
+	"sync"
+	"time"
+
+	"slimfly/internal/obs"
+	"slimfly/internal/sweep"
+)
+
+var obsSweepsActive = obs.NewGauge("sweepd.sweeps_active")
+
+// State is a sweep's lifecycle position.
+type State string
+
+// The sweep states. Queued and Running sweeps hold or will receive
+// claims; the other three are terminal. Interrupted is the drain
+// outcome: every finished point is in the shared cache, so resubmitting
+// the same spec to a restarted server (or running `sfsweep` against the
+// same cache directory) completes the sweep without re-executing them.
+const (
+	StateQueued      State = "queued"
+	StateRunning     State = "running"
+	StateDone        State = "done"
+	StateInterrupted State = "interrupted"
+	StateCancelled   State = "cancelled"
+)
+
+// terminal reports whether no further transitions can happen.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateInterrupted || s == StateCancelled
+}
+
+// Status is the wire form of one sweep's current position: returned by
+// the status and list endpoints and published as the payload of "state"
+// and "done" events.
+type Status struct {
+	ID       string         `json:"id"`
+	Name     string         `json:"name"`
+	State    State          `json:"state"`
+	Jobs     int            `json:"jobs"`
+	Progress sweep.Snapshot `json:"progress"`
+	Created  time.Time      `json:"created"`
+	Finished *time.Time     `json:"finished,omitempty"`
+}
+
+// resultEvent is the payload of "result" events: the job's position in
+// the deterministic expansion plus its full outcome.
+type resultEvent struct {
+	Index  int             `json:"index"`
+	Result sweep.JobResult `json:"result"`
+}
+
+// sweepRun is one submitted sweep. Claim-side fields (next) are guarded
+// by the scheduler's mutex; completion-side fields are guarded by mu.
+// Lock order is scheduler.mu before sweepRun.mu; the hub's mutex is a
+// leaf below both.
+type sweepRun struct {
+	id      string
+	spec    *sweep.Spec
+	jobs    []sweep.Job
+	created time.Time
+
+	next int // claim cursor; scheduler.mu only
+
+	mu         sync.Mutex
+	state      State
+	results    []sweep.JobResult
+	reached    []bool
+	finished   int
+	finishedAt *time.Time
+	prog       *sweep.Progress
+	hub        *hub
+	done       chan struct{} // closed on any terminal state
+}
+
+func newSweepRun(id string, spec *sweep.Spec, jobs []sweep.Job, workers int) *sweepRun {
+	r := &sweepRun{
+		id: id, spec: spec, jobs: jobs, created: time.Now().UTC(),
+		state:   StateQueued,
+		results: make([]sweep.JobResult, len(jobs)),
+		reached: make([]bool, len(jobs)),
+		prog:    sweep.NewProgress(len(jobs), workers),
+		hub:     newHub(),
+		done:    make(chan struct{}),
+	}
+	obsSweepsActive.Add(1)
+	r.hub.publish("state", r.status())
+	return r
+}
+
+// status snapshots the run for the API.
+func (r *sweepRun) status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.statusLocked()
+}
+
+func (r *sweepRun) statusLocked() Status {
+	return Status{
+		ID: r.id, Name: r.spec.Name, State: r.state, Jobs: len(r.jobs),
+		Progress: r.prog.Snapshot(), Created: r.created, Finished: r.finishedAt,
+	}
+}
+
+// claimStarted records one claim: the first flips the sweep to running.
+func (r *sweepRun) claimStarted() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.prog.JobStarted()
+	if r.state == StateQueued {
+		r.state = StateRunning
+		r.hub.publish("state", r.statusLocked())
+	}
+}
+
+// finish records one completed job, publishes its result and progress
+// events, and closes out the sweep when it was the last job.
+func (r *sweepRun) finish(idx int, jr sweep.JobResult) {
+	r.mu.Lock()
+	r.results[idx] = jr
+	r.reached[idx] = true
+	r.finished++
+	r.prog.Observe(jr)
+	r.hub.publish("result", resultEvent{Index: idx, Result: jr})
+	r.hub.publish("progress", r.prog.Snapshot())
+	if r.finished == len(r.jobs) && r.state == StateRunning {
+		r.setTerminalLocked(StateDone, "done")
+		h := r.hub
+		r.mu.Unlock()
+		h.close()
+		return
+	}
+	r.mu.Unlock()
+}
+
+// terminate moves the run to a terminal state (interrupted on drain,
+// cancelled on DELETE) and ends its event stream. In-flight jobs may
+// still call finish afterwards; their results are recorded (and, for
+// drain, were already committed to the cache by Execute) but the state
+// no longer changes. No-op on already terminal runs.
+func (r *sweepRun) terminate(to State) {
+	r.mu.Lock()
+	if r.state.terminal() {
+		r.mu.Unlock()
+		return
+	}
+	r.setTerminalLocked(to, "state")
+	h := r.hub
+	r.mu.Unlock()
+	h.close()
+}
+
+// setTerminalLocked performs the shared terminal bookkeeping: state,
+// finish time, the closing event (kind "done" for completion, "state"
+// otherwise) and the done channel. Caller holds r.mu and closes the hub
+// after unlocking.
+func (r *sweepRun) setTerminalLocked(to State, eventKind string) {
+	r.state = to
+	now := time.Now().UTC()
+	r.finishedAt = &now
+	obsSweepsActive.Add(-1)
+	r.hub.publish(eventKind, r.statusLocked())
+	close(r.done)
+}
+
+// finishedResults returns the completed results in deterministic job
+// order (the same order sfsweep's artifacts use), skipping never-reached
+// slots of interrupted or cancelled sweeps, plus the run's Stats.
+func (r *sweepRun) finishedResults() ([]sweep.JobResult, sweep.Stats) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]sweep.JobResult, 0, r.finished)
+	st := sweep.Stats{Total: len(r.jobs)}
+	for i := range r.results {
+		if !r.reached[i] {
+			st.Skipped++
+			continue
+		}
+		switch {
+		case r.results[i].Err != "":
+			st.Failed++
+		case r.results[i].Cached:
+			st.Cached++
+		default:
+			st.Executed++
+		}
+		out = append(out, r.results[i])
+	}
+	return out, st
+}

@@ -1,0 +1,188 @@
+package sweepd
+
+import (
+	"runtime"
+	"sync"
+
+	"slimfly/internal/obs"
+	"slimfly/internal/sim"
+	"slimfly/internal/sweep"
+)
+
+// The scheduler shares the pool's queue-depth gauge (obs instruments are
+// registered by name, so this is the same instance internal/sweep
+// updates): /debug/vars reports one expanded-but-unclaimed total however
+// jobs entered the process.
+var obsQueueDepth = obs.NewGauge("sweep.queue_depth")
+
+// scheduler is the fair-share claim source for the service's worker
+// pool. Sweeps with unclaimed jobs sit in an active list in submission
+// order and a round-robin cursor hands out ONE job per sweep per turn,
+// so a 10,000-point sweep and a 4-point sweep queued behind it make
+// progress together: the big sweep cannot starve the small one, and
+// every claimed job still executes through sweep.Execute -- the same
+// cache-checked path the batch pool runs.
+//
+// Intra-simulation sharding rides the existing SplitParallelism
+// heuristic, re-evaluated at every claim against the CURRENT pending
+// count: when the service is saturated with jobs each simulation stays
+// serial, and when the queue drains below the worker count (the tail of
+// the last sweep on an otherwise idle server) the spare cores shard the
+// remaining simulations. Worker counts never change results or cache
+// keys, so this is pure wall-clock tuning.
+type scheduler struct {
+	workers int
+	simW    int // fixed intra-sim workers; 0 = dynamic SplitParallelism
+	cache   *sweep.Cache
+	env     *sweep.Env
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	active   []*sweepRun // sweeps with unclaimed jobs, submission order
+	rr       int         // round-robin cursor into active
+	pending  int         // unclaimed jobs across active
+	draining bool
+	started  bool
+	wg       sync.WaitGroup
+}
+
+func newScheduler(workers, simWorkers int, cache *sweep.Cache, env *sweep.Env) *scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &scheduler{workers: workers, simW: simWorkers, cache: cache, env: env}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// start launches the worker goroutines. Idempotent; submissions made
+// before start just queue (the Server's tests rely on that to make
+// claim-order assertions deterministic).
+func (s *scheduler) start() {
+	s.mu.Lock()
+	if s.started || s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.run()
+		}()
+	}
+}
+
+// submit queues a sweep's jobs for claiming. Returns false while (or
+// after) draining: a server going down accepts no new work.
+func (s *scheduler) submit(r *sweepRun) bool {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return false
+	}
+	s.active = append(s.active, r)
+	s.pending += len(r.jobs)
+	obsQueueDepth.Add(int64(len(r.jobs)))
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	return true
+}
+
+// claim blocks until a job is available or the scheduler drains. It
+// returns the run, the claimed job index and the intra-simulation worker
+// count to execute with; ok=false means the worker should exit.
+func (s *scheduler) claim() (r *sweepRun, idx, simWorkers int, ok bool) {
+	s.mu.Lock()
+	for !s.draining && len(s.active) == 0 {
+		s.cond.Wait()
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return nil, 0, 0, false
+	}
+	if s.rr >= len(s.active) {
+		s.rr = 0
+	}
+	r = s.active[s.rr]
+	idx = r.next
+	r.next++
+	simWorkers = s.simW
+	if simWorkers == 0 {
+		_, simWorkers = sweep.SplitParallelism(s.pending, s.workers)
+	}
+	s.pending--
+	obsQueueDepth.Add(-1)
+	if r.next >= len(r.jobs) {
+		// Fully claimed: leave the rotation. The cursor now points at the
+		// next sweep, so no sweep's turn is skipped by the removal.
+		s.active = append(s.active[:s.rr], s.active[s.rr+1:]...)
+		if s.rr >= len(s.active) {
+			s.rr = 0
+		}
+	} else {
+		s.rr = (s.rr + 1) % len(s.active)
+	}
+	s.mu.Unlock()
+	r.claimStarted()
+	return r, idx, simWorkers, true
+}
+
+// run is one worker's loop: claim fair-share, execute through the shared
+// per-job path (cache lookup, lazy build, simulate, cache store), record.
+func (s *scheduler) run() {
+	for {
+		r, idx, simW, ok := s.claim()
+		if !ok {
+			return
+		}
+		job := r.jobs[idx]
+		task := sweep.Task{
+			Job: job, Key: job.Key(),
+			Build: func() (sim.Config, error) { return s.env.Config(job) },
+		}
+		r.finish(idx, sweep.Execute(task, s.cache, simW))
+	}
+}
+
+// remove takes a sweep out of the rotation (cancellation), returning how
+// many of its jobs were still unclaimed.
+func (s *scheduler) remove(r *sweepRun) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, a := range s.active {
+		if a != r {
+			continue
+		}
+		unclaimed := len(r.jobs) - r.next
+		s.active = append(s.active[:i], s.active[i+1:]...)
+		if i < s.rr {
+			s.rr--
+		}
+		if s.rr >= len(s.active) {
+			s.rr = 0
+		}
+		s.pending -= unclaimed
+		obsQueueDepth.Add(-int64(unclaimed))
+		return unclaimed
+	}
+	return 0
+}
+
+// drain stops all claiming and blocks until every in-flight job has
+// finished (and, with a cache, been committed). Unclaimed jobs are
+// abandoned -- their sweeps are the resumable ones. Idempotent.
+func (s *scheduler) drain() {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		s.active = nil
+		obsQueueDepth.Add(-int64(s.pending))
+		s.pending = 0
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	s.wg.Wait()
+}

@@ -1,0 +1,419 @@
+// Package sweepd is the long-running sweep service: an HTTP/JSON API
+// over the experiment engine, so many concurrent clients share one
+// machine's cores and one content-addressed result cache.
+//
+//	POST /api/v1/sweeps           submit a sweep.Spec, get a sweep id
+//	GET  /api/v1/sweeps           list sweeps and their progress
+//	GET  /api/v1/sweeps/{id}      status/progress of one sweep
+//	GET  /api/v1/sweeps/{id}/events   SSE stream: per-job results + progress
+//	GET  /api/v1/sweeps/{id}/results  accumulated results (json|csv|jsonl)
+//	GET  /api/v1/results          index of cached scenario keys
+//	GET  /api/v1/results/{key}    one cache entry by scenario Spec.Key
+//	DELETE /api/v1/sweeps/{id}    cancel a queued/running sweep
+//	GET  /healthz                 liveness probe
+//
+// Scenario names in a submitted spec are the registry's (`sfsweep
+// -list`); validation failures come back as structured 400s carrying
+// the scenario package's error values. A fair-share scheduler
+// round-robins job claims across all queued sweeps, and every job runs
+// through the same sweep.Execute path as the batch CLI, against the
+// same cache -- a result served by the service is byte-identical to one
+// computed by `sfsweep` for the same spec. Graceful drain (Server.Drain,
+// wired to SIGTERM by cmd/sfsweepd) stops claiming, lets in-flight jobs
+// finish and commit, and marks still-queued sweeps interrupted; because
+// every finished point is cached, a restarted server resumes exactly
+// like a re-run `sfsweep` does.
+package sweepd
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"slimfly/internal/export"
+	"slimfly/internal/metrics"
+	"slimfly/internal/obs"
+	"slimfly/internal/scenario"
+	"slimfly/internal/sweep"
+)
+
+var (
+	obsHTTPReqs        = obs.NewCounter("sweepd.http_requests")
+	obsSweepsSubmitted = obs.NewCounter("sweepd.sweeps_submitted")
+)
+
+// maxSpecBytes bounds POST bodies; the largest legitimate specs (every
+// axis enumerated) are a few KiB.
+const maxSpecBytes = 1 << 20
+
+// Config configures a Server.
+type Config struct {
+	// Cache is the shared content-addressed result store. May be nil
+	// (nothing is cached or resumable; useful in tests only).
+	Cache *sweep.Cache
+	// Workers is the claim-loop width; 0 means one per available core.
+	Workers int
+	// SimWorkers fixes intra-simulation sharding per job; 0 re-evaluates
+	// sweep.SplitParallelism at every claim against the live queue depth.
+	SimWorkers int
+	// Debug, when true, mounts obs.DebugHandler (expvar + pprof) under
+	// /debug/ on the same mux.
+	Debug bool
+}
+
+// Server is the sweep service. It implements http.Handler; Start
+// launches the workers and Drain performs the graceful shutdown.
+// Submissions made before Start queue up and run once Start is called.
+type Server struct {
+	cache *sweep.Cache
+	env   *sweep.Env
+	sched *scheduler
+	mux   *http.ServeMux
+
+	mu     sync.Mutex
+	sweeps map[string]*sweepRun
+	order  []*sweepRun
+	nextID int
+}
+
+// New builds a Server. Call Start to begin executing submitted sweeps.
+func New(cfg Config) *Server {
+	env := sweep.NewEnv()
+	s := &Server{
+		cache:  cfg.Cache,
+		env:    env,
+		sched:  newScheduler(cfg.Workers, cfg.SimWorkers, cfg.Cache, env),
+		mux:    http.NewServeMux(),
+		sweeps: make(map[string]*sweepRun),
+	}
+	s.mux.HandleFunc("POST /api/v1/sweeps", s.handleSubmit)
+	s.mux.HandleFunc("GET /api/v1/sweeps", s.handleList)
+	s.mux.HandleFunc("GET /api/v1/sweeps/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /api/v1/sweeps/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /api/v1/sweeps/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /api/v1/sweeps/{id}/results", s.handleResults)
+	s.mux.HandleFunc("GET /api/v1/results", s.handleIndex)
+	s.mux.HandleFunc("GET /api/v1/results/{key}", s.handleEntry)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	if cfg.Debug {
+		s.mux.Handle("/debug/", obs.DebugHandler())
+	}
+	return s
+}
+
+// Start launches the scheduler's workers. Idempotent.
+func (s *Server) Start() { s.sched.start() }
+
+// Drain is the graceful shutdown: stop claiming, wait for in-flight
+// jobs to finish and commit to the cache, then mark every non-terminal
+// sweep interrupted and end its event stream. A cancelled ctx abandons
+// the wait (in-flight simulations cannot be preempted) but still marks
+// sweeps interrupted before returning ctx's error. The server keeps
+// answering reads afterwards; new submissions get 503.
+func (s *Server) Drain(ctx context.Context) error {
+	done := make(chan struct{})
+	go func() {
+		s.sched.drain()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.mu.Lock()
+	runs := append([]*sweepRun(nil), s.order...)
+	s.mu.Unlock()
+	for _, r := range runs {
+		r.terminate(StateInterrupted)
+	}
+	return err
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	obsHTTPReqs.Inc()
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is the structured error body of every non-2xx response.
+// Scenario registry failures are embedded whole, so a client sees the
+// failing axis, the rejected name and the full list of valid names
+// without parsing the message text.
+type apiError struct {
+	Error        string                      `json:"error"`
+	Kind         string                      `json:"kind,omitempty"`
+	Unknown      *scenario.UnknownError      `json:"unknown,omitempty"`
+	Incompatible *scenario.IncompatibleError `json:"incompatible,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, code int, kind string, err error) {
+	ae := apiError{Error: err.Error(), Kind: kind}
+	var ue *scenario.UnknownError
+	var ie *scenario.IncompatibleError
+	switch {
+	case errors.As(err, &ue):
+		ae.Kind = "unknown_name"
+		ae.Unknown = ue
+	case errors.As(err, &ie):
+		ae.Kind = "incompatible"
+		ae.Incompatible = ie
+	}
+	writeJSON(w, code, ae)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+// handleSubmit accepts one sweep.Spec (a single JSON object, the same
+// format `sfsweep -spec` reads), validates it against the scenario
+// registries, expands it and queues it for fair-share execution.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := sweep.ParseSpec(io.LimitReader(r.Body, maxSpecBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_spec", err)
+		return
+	}
+	// sweep.Spec.Validate checks the axis names; the collector selection
+	// is checked here so a typo'd metrics name is a 400, not a per-job
+	// failure after expansion.
+	if err := metrics.CheckNames(spec.Sim.Metrics); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_spec", err)
+		return
+	}
+	jobs, err := spec.Expand()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_spec", err)
+		return
+	}
+
+	s.mu.Lock()
+	s.nextID++
+	id := "sw-" + strconv.Itoa(s.nextID)
+	run := newSweepRun(id, spec, jobs, s.sched.workers)
+	s.sweeps[id] = run
+	s.order = append(s.order, run)
+	s.mu.Unlock()
+
+	if !s.sched.submit(run) {
+		run.terminate(StateInterrupted)
+		writeError(w, http.StatusServiceUnavailable, "draining",
+			errors.New("sweepd: server is draining; resubmit after restart (finished points are cached)"))
+		return
+	}
+	obsSweepsSubmitted.Inc()
+	writeJSON(w, http.StatusAccepted, run.status())
+}
+
+func (s *Server) lookup(id string) (*sweepRun, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.sweeps[id]
+	return r, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	runs := append([]*sweepRun(nil), s.order...)
+	s.mu.Unlock()
+	out := struct {
+		Sweeps []Status `json:"sweeps"`
+	}{Sweeps: make([]Status, 0, len(runs))}
+	for _, r := range runs {
+		out.Sweeps = append(out.Sweeps, r.status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Errorf("sweepd: no sweep %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, run.status())
+}
+
+// handleCancel removes a sweep from the rotation. Unclaimed jobs never
+// run; in-flight ones finish (and cache) but the sweep is terminal.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Errorf("sweepd: no sweep %q", r.PathValue("id")))
+		return
+	}
+	s.sched.remove(run)
+	run.terminate(StateCancelled)
+	writeJSON(w, http.StatusOK, run.status())
+}
+
+// handleEvents streams the sweep's ordered event log as Server-Sent
+// Events: the full replay first (a late subscriber misses nothing),
+// then live events until the sweep reaches a terminal state or the
+// client goes away. Event ids are the per-sweep sequence numbers.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Errorf("sweepd: no sweep %q", r.PathValue("id")))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "no_flush",
+			errors.New("sweepd: response writer cannot stream"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	replay, live, cancel := run.hub.subscribe()
+	defer cancel()
+	for _, ev := range replay {
+		if err := ev.writeSSE(w); err != nil {
+			return
+		}
+	}
+	fl.Flush()
+	for {
+		select {
+		case ev, ok := <-live:
+			if !ok {
+				return // terminal state reached (or subscriber dropped)
+			}
+			if err := ev.writeSSE(w); err != nil {
+				return
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleResults serves the results accumulated so far (all of them,
+// once the sweep is done) in deterministic job order. ?format=csv
+// streams the same CSV rows `sfsweep` writes to results.csv -- for a
+// completed sweep the bytes are identical; ?format=jsonl streams one
+// result per line; the default JSON body is the sfsweep results.json
+// artifact shape (spec, stats, results).
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Errorf("sweepd: no sweep %q", r.PathValue("id")))
+		return
+	}
+	results, stats := run.finishedResults()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, export.SweepArtifact{Spec: run.spec, Stats: stats, Results: results})
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		st, err := export.NewSweepCSVStream(w)
+		if err != nil {
+			return // header write failed: client gone
+		}
+		for _, jr := range results {
+			if err := st.Write(jr); err != nil {
+				return
+			}
+		}
+		st.Flush()
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/jsonl")
+		st := export.NewSweepJSONLStream(w)
+		for _, jr := range results {
+			if err := st.Write(jr); err != nil {
+				return
+			}
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "bad_format",
+			fmt.Errorf("sweepd: unknown format %q (json, csv, jsonl)", format))
+	}
+}
+
+// handleIndex streams the cache's key index. The body is emitted
+// incrementally from Cache.Keys, so listing a huge cache never builds
+// the key set in memory; a walk error truncates the list and surfaces
+// in the trailing "error" field.
+func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	if s.cache == nil {
+		writeError(w, http.StatusNotFound, "no_cache", errors.New("sweepd: server runs without a cache"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	io.WriteString(w, `{"keys":[`)
+	n := 0
+	var walkErr error
+	for key, err := range s.cache.Keys() {
+		if err != nil {
+			walkErr = err
+			break
+		}
+		if n > 0 {
+			io.WriteString(w, ",")
+		}
+		fmt.Fprintf(w, "%q", key)
+		n++
+	}
+	fmt.Fprintf(w, `],"count":%d`, n)
+	if walkErr != nil {
+		b, _ := json.Marshal(walkErr.Error())
+		fmt.Fprintf(w, `,"error":%s`, b)
+	}
+	io.WriteString(w, "}\n")
+}
+
+// handleEntry serves one cache entry by scenario Spec.Key: the
+// cross-client deduplication surface. A client that knows a scenario's
+// key (Spec.Key is a documented stable hash) fetches the shared result
+// without submitting a sweep at all.
+func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
+	if s.cache == nil {
+		writeError(w, http.StatusNotFound, "no_cache", errors.New("sweepd: server runs without a cache"))
+		return
+	}
+	key := r.PathValue("key")
+	if !validKey(key) {
+		writeError(w, http.StatusBadRequest, "bad_key",
+			fmt.Errorf("sweepd: %q is not a scenario key (64 hex digits)", key))
+		return
+	}
+	e, ok := s.cache.Get(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Errorf("sweepd: no cached result for %s", key))
+		return
+	}
+	writeJSON(w, http.StatusOK, e)
+}
+
+// validKey reports whether key has the exact shape of a scenario
+// Spec.Key (hex SHA-256). Anything else is rejected before it can reach
+// the filesystem layer.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,651 @@
+package sweepd
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"slimfly/internal/export"
+	"slimfly/internal/sweep"
+)
+
+// specJSON renders a tiny sweep spec: nloads loads on an SF q=5 network
+// under MIN/uniform, with short simulation windows. Every load is a
+// distinct job, so nloads == job count.
+func specJSON(name string, nloads int) string {
+	loads := make([]string, nloads)
+	for i := range loads {
+		loads[i] = strconv.FormatFloat(0.05*float64(i+1), 'g', -1, 64)
+	}
+	return fmt.Sprintf(`{
+		"name": %q,
+		"topologies": [{"kind": "SF", "q": 5}],
+		"algos": ["min"],
+		"patterns": ["uniform"],
+		"loads": [%s],
+		"seeds": [1],
+		"sim": {"warmup": 50, "measure": 100, "drain": 500}
+	}`, name, strings.Join(loads, ", "))
+}
+
+// newTestServer builds a started server over a fresh cache dir and an
+// httptest listener.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Cache == nil {
+		c, err := sweep.OpenCache(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Cache = c
+	}
+	srv := New(cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postSpec(t *testing.T, ts *httptest.Server, spec string) Status {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/api/v1/sweeps", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /sweeps: status %d: %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("POST /sweeps response: %v (%s)", err, body)
+	}
+	if st.ID == "" {
+		t.Fatalf("POST /sweeps returned no id: %s", body)
+	}
+	return st
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) Status {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/api/v1/sweeps/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /sweeps/%s: status %d", id, resp.StatusCode)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// waitState polls a sweep until it reaches the wanted terminal state.
+func waitState(t *testing.T, ts *httptest.Server, id string, want State) Status {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if st.State == want {
+			return st
+		}
+		if st.State.terminal() {
+			t.Fatalf("sweep %s reached %q, want %q", id, st.State, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("sweep %s never reached %q", id, want)
+	return Status{}
+}
+
+// TestSubmitValidation: malformed and invalid specs come back as
+// structured 400s before anything is queued.
+func TestSubmitValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	post := func(body string) (int, apiError) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/api/v1/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ae apiError
+		if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil {
+			t.Fatalf("error body is not JSON: %v", err)
+		}
+		return resp.StatusCode, ae
+	}
+
+	if code, ae := post("{not json"); code != http.StatusBadRequest || ae.Error == "" {
+		t.Errorf("malformed JSON: status %d, %+v", code, ae)
+	}
+
+	// Unknown algo: the 400 carries the scenario UnknownError whole,
+	// valid names included.
+	bad := strings.Replace(specJSON("bad-algo", 1), `"min"`, `"zigzag"`, 1)
+	code, ae := post(bad)
+	if code != http.StatusBadRequest || ae.Kind != "unknown_name" {
+		t.Fatalf("unknown algo: status %d kind %q (%+v)", code, ae.Kind, ae)
+	}
+	if ae.Unknown == nil || ae.Unknown.Name != "zigzag" || len(ae.Unknown.Known) == 0 {
+		t.Errorf("unknown algo 400 does not enumerate valid names: %+v", ae.Unknown)
+	}
+
+	// Unknown top-level field: typos fail loudly.
+	if code, _ := post(`{"name":"x","topologies":[{"kind":"SF","q":5}],"algos":["min"],"loads":[0.1],"loadz":[1]}`); code != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d", code)
+	}
+
+	// Out-of-range load.
+	if code, _ := post(strings.Replace(specJSON("bad-load", 1), "0.05", "1.5", 1)); code != http.StatusBadRequest {
+		t.Errorf("load out of range: status %d", code)
+	}
+
+	// Unknown collector name.
+	withMetrics := strings.Replace(specJSON("bad-metrics", 1),
+		`"sim": {`, `"sim": {"metrics": "nope", `, 1)
+	if code, ae := post(withMetrics); code != http.StatusBadRequest || ae.Error == "" {
+		t.Errorf("unknown collector: status %d, %+v", code, ae)
+	}
+
+	// Nothing leaked into the sweep list.
+	resp, err := http.Get(ts.URL + "/api/v1/sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var list struct {
+		Sweeps []Status `json:"sweeps"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sweeps) != 0 {
+		t.Errorf("invalid submissions created sweeps: %+v", list.Sweeps)
+	}
+}
+
+// TestSweepLifecycle: submit, run to completion, fetch results in all
+// three formats, fetch a single cache entry by key, list the index.
+func TestSweepLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-backed; skipped in -short")
+	}
+	srv, ts := newTestServer(t, Config{Workers: 2})
+	srv.Start()
+
+	st := postSpec(t, ts, specJSON("lifecycle", 3))
+	if st.Jobs != 3 {
+		t.Fatalf("expanded to %d jobs, want 3", st.Jobs)
+	}
+	final := waitState(t, ts, st.ID, StateDone)
+	if p := final.Progress; p.Done != 3 || p.Failed != 0 || p.Executed != 3 {
+		t.Fatalf("final progress %+v", p)
+	}
+	if final.Finished == nil {
+		t.Error("done sweep has no finished timestamp")
+	}
+
+	// JSON artifact: sfsweep's results.json shape.
+	resp, err := http.Get(ts.URL + "/api/v1/sweeps/" + st.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	art, err := export.ReadSweepJSON(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(art.Results) != 3 || art.Stats.Executed != 3 || art.Spec == nil {
+		t.Fatalf("artifact: %d results, stats %+v, spec %v", len(art.Results), art.Stats, art.Spec)
+	}
+	for _, r := range art.Results {
+		if r.Err != "" || r.Key == "" || r.Result.Delivered == 0 {
+			t.Errorf("bad result %+v", r)
+		}
+	}
+
+	// CSV: byte-identical to the export writer over the same results.
+	resp, err = http.Get(ts.URL + "/api/v1/sweeps/" + st.ID + "/results?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var want bytes.Buffer
+	if err := export.WriteSweepCSV(&want, art.Results); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(served, want.Bytes()) {
+		t.Errorf("served CSV differs from export.WriteSweepCSV:\n%s\nvs\n%s", served, want.Bytes())
+	}
+
+	// JSONL: one parseable line per result.
+	resp, err = http.Get(ts.URL + "/api/v1/sweeps/" + st.ID + "/results?format=jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var r sweep.JobResult
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Errorf("jsonl line %d: %v", lines, err)
+		}
+		lines++
+	}
+	resp.Body.Close()
+	if lines != 3 {
+		t.Errorf("jsonl lines = %d, want 3", lines)
+	}
+
+	// Single entry by key: the cross-client dedup surface.
+	key := art.Results[0].Key
+	resp, err = http.Get(ts.URL + "/api/v1/results/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entry sweep.Entry
+	if err := json.NewDecoder(resp.Body).Decode(&entry); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if entry.Result.Delivered != art.Results[0].Result.Delivered {
+		t.Errorf("cache entry result differs from sweep result")
+	}
+
+	// Key shaped wrong: 400, never touches the filesystem.
+	resp, err = http.Get(ts.URL + "/api/v1/results/..%2Fescape")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad key: status %d, want 400", resp.StatusCode)
+	}
+
+	// Index lists every key the sweep produced.
+	resp, err = http.Get(ts.URL + "/api/v1/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idx struct {
+		Keys  []string `json:"keys"`
+		Count int      `json:"count"`
+		Error string   `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&idx); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if idx.Error != "" || idx.Count != 3 || len(idx.Keys) != 3 {
+		t.Errorf("index: %+v", idx)
+	}
+}
+
+// sseEvent is one parsed SSE frame.
+type sseEvent struct {
+	id   int
+	kind string
+	data string
+}
+
+// readSSE parses a text/event-stream body until it closes.
+func readSSE(t *testing.T, body io.Reader) []sseEvent {
+	t.Helper()
+	var evs []sseEvent
+	var cur sseEvent
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if cur.kind != "" {
+				evs = append(evs, cur)
+			}
+			cur = sseEvent{}
+		case strings.HasPrefix(line, "id: "):
+			cur.id, _ = strconv.Atoi(strings.TrimPrefix(line, "id: "))
+		case strings.HasPrefix(line, "event: "):
+			cur.kind = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		}
+	}
+	return evs
+}
+
+// TestSSEEventOrdering: the event stream replays from the start, ids
+// increase strictly, every job contributes a result event followed by a
+// progress event, and the stream ends with "done".
+func TestSSEEventOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-backed; skipped in -short")
+	}
+	srv, ts := newTestServer(t, Config{Workers: 2})
+	srv.Start()
+	st := postSpec(t, ts, specJSON("sse", 4))
+
+	resp, err := http.Get(ts.URL + "/api/v1/sweeps/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type %q", ct)
+	}
+	evs := readSSE(t, resp.Body) // returns when the hub closes at "done"
+
+	if len(evs) == 0 {
+		t.Fatal("no events")
+	}
+	results, progress := 0, 0
+	for i, ev := range evs {
+		if ev.id != i+1 {
+			t.Fatalf("event %d has id %d: ids must be the gapless 1-based sequence", i, ev.id)
+		}
+		switch ev.kind {
+		case "result":
+			results++
+			var re resultEvent
+			if err := json.Unmarshal([]byte(ev.data), &re); err != nil {
+				t.Fatalf("result event payload: %v", err)
+			}
+			if re.Result.Err != "" {
+				t.Errorf("job %d failed: %s", re.Index, re.Result.Err)
+			}
+			// Each result is immediately followed by a progress snapshot.
+			if i+1 >= len(evs) || evs[i+1].kind != "progress" {
+				t.Errorf("event %d (result) not followed by progress", i)
+			}
+		case "progress":
+			progress++
+		}
+	}
+	if results != 4 || progress != 4 {
+		t.Errorf("saw %d result and %d progress events, want 4 and 4", results, progress)
+	}
+	if last := evs[len(evs)-1]; last.kind != "done" {
+		t.Errorf("last event is %q, want done", last.kind)
+	}
+	var final Status
+	if err := json.Unmarshal([]byte(evs[len(evs)-1].data), &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateDone {
+		t.Errorf("done event carries state %q", final.State)
+	}
+
+	// A subscriber arriving after completion gets the identical ordered
+	// log as pure replay.
+	resp2, err := http.Get(ts.URL + "/api/v1/sweeps/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	replay := readSSE(t, resp2.Body)
+	if len(replay) != len(evs) {
+		t.Fatalf("replay has %d events, live had %d", len(replay), len(evs))
+	}
+	for i := range evs {
+		if replay[i] != evs[i] {
+			t.Errorf("replay event %d differs: %+v vs %+v", i, replay[i], evs[i])
+		}
+	}
+}
+
+// TestCacheSharing: concurrent submissions of the same spec share one
+// cache; once the first completes, a resubmission is served entirely
+// from cache, executing nothing.
+func TestCacheSharing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-backed; skipped in -short")
+	}
+	srv, ts := newTestServer(t, Config{Workers: 2})
+	srv.Start()
+
+	// Concurrent POSTs of the same spec: both must complete cleanly (the
+	// race detector guards the claim paths).
+	var wg sync.WaitGroup
+	ids := make([]string, 2)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = postSpec(t, ts, specJSON("shared", 3)).ID
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		waitState(t, ts, id, StateDone)
+	}
+
+	// Sequential resubmission: everything is a cache hit now.
+	st := postSpec(t, ts, specJSON("shared", 3))
+	final := waitState(t, ts, st.ID, StateDone)
+	if p := final.Progress; p.Cached != 3 || p.Executed != 0 {
+		t.Errorf("resubmission progress %+v, want 3 cached / 0 executed", p)
+	}
+
+	// Total work across the three sweeps: at most 2x the grid (the two
+	// concurrent sweeps can each execute a point before the other's
+	// store lands), never 3x.
+	total := 0
+	for _, id := range append(ids, st.ID) {
+		total += getStatus(t, ts, id).Progress.Executed
+	}
+	if total > 6 {
+		t.Errorf("%d jobs executed across 3 identical sweeps of 3 points", total)
+	}
+}
+
+// TestFairShareClaimOrder drives the scheduler directly (no workers) and
+// pins the interleaving: one claim per sweep per turn, in submission
+// order, with the big sweep taking the leftover turns alone.
+func TestFairShareClaimOrder(t *testing.T) {
+	sched := newScheduler(1, 1, nil, sweep.NewEnv())
+	mkRun := func(id string, njobs int) *sweepRun {
+		spec := &sweep.Spec{Name: id}
+		jobs := make([]sweep.Job, njobs)
+		for i := range jobs {
+			jobs[i] = sweep.Job{Topo: sweep.TopoSpec{Kind: "SF", Q: 5}, Algo: "min", Load: 0.01 * float64(i+1)}
+		}
+		return newSweepRun(id, spec, jobs, 1)
+	}
+	a := mkRun("A", 5)
+	b := mkRun("B", 2)
+	c := mkRun("C", 1)
+	for _, r := range []*sweepRun{a, b, c} {
+		if !sched.submit(r) {
+			t.Fatal("submit refused")
+		}
+	}
+	var order []string
+	for i := 0; i < 8; i++ {
+		r, _, _, ok := sched.claim()
+		if !ok {
+			t.Fatal("claim refused")
+		}
+		order = append(order, r.id)
+	}
+	got := strings.Join(order, "")
+	// Round-robin: A B C | A B | A A A (C exhausts after turn 1, B after
+	// turn 2, then A drains alone).
+	if want := "ABCABAAA"; got != want {
+		t.Errorf("claim order %q, want %q", got, want)
+	}
+	if sched.pending != 0 {
+		t.Errorf("pending = %d after full drain", sched.pending)
+	}
+}
+
+// TestFairShareAPI: with one worker, a small sweep submitted after a big
+// one still finishes first -- the service-level starvation guarantee.
+func TestFairShareAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-backed; skipped in -short")
+	}
+	srv, ts := newTestServer(t, Config{Workers: 1, SimWorkers: 1})
+	// Submit BEFORE Start so claim order is exactly round-robin from job
+	// zero: big first, then small.
+	big := postSpec(t, ts, specJSON("big", 6))
+	small := postSpec(t, ts, specJSON("small-sweep", 2))
+	srv.Start()
+
+	bigFinal := waitState(t, ts, big.ID, StateDone)
+	smallFinal := waitState(t, ts, small.ID, StateDone)
+	if !smallFinal.Finished.Before(*bigFinal.Finished) {
+		t.Errorf("small sweep finished at %v, after big at %v: starved",
+			smallFinal.Finished, bigFinal.Finished)
+	}
+}
+
+// TestDrainResume: drain mid-sweep, verify the sweep is marked
+// interrupted with its finished points cached, then complete it on a
+// fresh server over the same cache without re-executing them.
+func TestDrainResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulator-backed; skipped in -short")
+	}
+	cache, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newTestServer(t, Config{Workers: 1, SimWorkers: 1, Cache: cache})
+	srv.Start()
+	// Long measure window: each job takes long enough that the drain
+	// issued right after the first result reliably lands mid-sweep.
+	drainSpec := `{
+		"name": "drain",
+		"topologies": [{"kind": "SF", "q": 5}],
+		"algos": ["min"],
+		"patterns": ["uniform"],
+		"loads": [0.05, 0.1, 0.15, 0.2, 0.25, 0.3],
+		"seeds": [1],
+		"sim": {"warmup": 50, "measure": 5000, "drain": 500}
+	}`
+	st := postSpec(t, ts, drainSpec)
+
+	// Wait for the first result event, then drain: deterministic "mid-sweep".
+	resp, err := http.Get(ts.URL + "/api/v1/sweeps/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	seenResult := false
+	for sc.Scan() && !seenResult {
+		seenResult = strings.HasPrefix(sc.Text(), "event: result")
+	}
+	if !seenResult {
+		t.Fatal("no result event before stream end")
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	final := getStatus(t, ts, st.ID)
+	if final.State != StateInterrupted {
+		t.Fatalf("state after drain = %q, want interrupted", final.State)
+	}
+	done := final.Progress.Done
+	if done < 1 || done >= 6 {
+		t.Fatalf("drain finished %d jobs, want mid-sweep (1..5)", done)
+	}
+	cached, err := cache.Len()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached != done {
+		t.Errorf("cache has %d entries, %d jobs finished: drain lost committed work", cached, done)
+	}
+
+	// Submissions during/after drain: 503.
+	r503, err := http.Post(ts.URL+"/api/v1/sweeps", "application/json", strings.NewReader(specJSON("late", 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r503.Body.Close()
+	if r503.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("POST while drained: status %d, want 503", r503.StatusCode)
+	}
+
+	// "Restart": a new server over the same cache dir completes the sweep
+	// with the drained points served from cache, not re-executed.
+	srv2, ts2 := newTestServer(t, Config{Workers: 1, Cache: cache})
+	srv2.Start()
+	st2 := postSpec(t, ts2, drainSpec)
+	final2 := waitState(t, ts2, st2.ID, StateDone)
+	if p := final2.Progress; p.Cached != done || p.Executed != 6-done || p.Failed != 0 {
+		t.Errorf("resumed progress %+v, want %d cached / %d executed", p, done, 6-done)
+	}
+}
+
+// TestCancel: cancelling removes unclaimed jobs from the rotation and
+// the sweep reports a terminal cancelled state with partial results.
+func TestCancel(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	// Never started: jobs stay queued, cancellation is fully deterministic.
+	st := postSpec(t, ts, specJSON("cancel", 3))
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/sweeps/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got Status
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCancelled {
+		t.Errorf("state %q, want cancelled", got.State)
+	}
+	// Its event stream is closed: a subscriber sees the replay and EOF.
+	evResp, err := http.Get(ts.URL + "/api/v1/sweeps/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp.Body.Close()
+	evs := readSSE(t, evResp.Body)
+	if len(evs) == 0 || evs[len(evs)-1].kind != "state" {
+		t.Errorf("cancelled stream events: %+v", evs)
+	}
+}
+
+// TestNotFound: unknown ids and keys are structured 404s.
+func TestNotFound(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	for _, path := range []string{
+		"/api/v1/sweeps/sw-999",
+		"/api/v1/sweeps/sw-999/events",
+		"/api/v1/sweeps/sw-999/results",
+		"/api/v1/results/" + strings.Repeat("ab", 32),
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ae apiError
+		err = json.NewDecoder(resp.Body).Decode(&ae)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound || err != nil || ae.Error == "" {
+			t.Errorf("GET %s: status %d, body err %v", path, resp.StatusCode, err)
+		}
+	}
+}
