@@ -217,7 +217,7 @@ func BenchmarkAblationUGALCandidates(b *testing.B) {
 			lat := 0.0
 			for i := 0; i < b.N; i++ {
 				s, err := sim.New(sim.Config{
-					Topo: sf, Tables: tb, Algo: sim.UGALL{Candidates: cands},
+					Topo: sf, Router: tb, Algo: sim.UGALL{Candidates: cands},
 					Pattern: wc, Load: 0.3,
 					Warmup: 300, Measure: 800, Drain: 4000, Seed: 5,
 				})
@@ -245,7 +245,7 @@ func BenchmarkAblationVAL3Hop(b *testing.B) {
 			lat := 0.0
 			for i := 0; i < b.N; i++ {
 				s, err := sim.New(sim.Config{
-					Topo: sf, Tables: tb, Algo: spec.algo, Pattern: u, Load: 0.3,
+					Topo: sf, Router: tb, Algo: spec.algo, Pattern: u, Load: 0.3,
 					Warmup: 300, Measure: 800, Drain: 4000, Seed: 6,
 				})
 				if err != nil {
@@ -268,7 +268,7 @@ func BenchmarkAblationBufferDepth(b *testing.B) {
 		b.Run(string(rune('a'+buf%26))+"buf", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				s, err := sim.New(sim.Config{
-					Topo: sf, Tables: tb, Algo: sim.MIN{}, Pattern: u, Load: 0.6,
+					Topo: sf, Router: tb, Algo: sim.MIN{}, Pattern: u, Load: 0.6,
 					BufPerPort: buf, Warmup: 300, Measure: 800, Drain: 4000, Seed: 7,
 				})
 				if err != nil {

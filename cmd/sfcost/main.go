@@ -14,6 +14,7 @@ import (
 
 	"slimfly/internal/cost"
 	"slimfly/internal/layout"
+	"slimfly/internal/route"
 	"slimfly/internal/scenario"
 	"slimfly/internal/topo"
 )
@@ -55,4 +56,7 @@ func main() {
 	fmt.Printf("cable cost:       $%.0f\n", b.CableCost)
 	fmt.Printf("total cost:       $%.0f  ($%.0f per endpoint)\n", b.Total, b.CostPerNode)
 	fmt.Printf("power:            %.0f W  (%.2f W per endpoint)\n", b.PowerWatts, b.PowerPerNode)
+	nr := t.Graph().N()
+	fmt.Printf("routing memory:   %d bytes BFS tables (9*n*n, n=%d routers); algebraic backend: %v\n",
+		route.EstimateTableBytes(nr), nr, scenario.Algebraic(*kind))
 }

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"slimfly/internal/export"
+	"slimfly/internal/route"
 	"slimfly/internal/scenario"
 	"slimfly/internal/topo"
 	"slimfly/internal/topo/slimfly"
@@ -37,7 +38,11 @@ func main() {
 
 	if *list {
 		for _, in := range scenario.Describe(scenario.Topologies) {
-			fmt.Printf("%-10s %s\n", in.Name, in.Desc)
+			suffix := ""
+			if in.Algebraic {
+				suffix = " [algebraic routing]"
+			}
+			fmt.Printf("%-10s %s%s\n", in.Name, in.Desc, suffix)
 		}
 		return
 	}
@@ -78,4 +83,7 @@ func main() {
 	st := t.Graph().AllPairsStats()
 	fmt.Printf("measured: diameter=%d avg_router_distance=%.4f edges=%d connected=%v\n",
 		st.Diameter, st.AvgDist, t.Graph().EdgeCount(), st.Connected)
+	nr := t.Graph().N()
+	fmt.Printf("routing:  table_bytes=%d (9*n*n, n=%d routers) algebraic=%v\n",
+		route.EstimateTableBytes(nr), nr, scenario.Algebraic(ts.Kind))
 }

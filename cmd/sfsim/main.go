@@ -26,6 +26,7 @@ import (
 	"slimfly/internal/export"
 	"slimfly/internal/metrics"
 	"slimfly/internal/obs"
+	"slimfly/internal/route"
 	"slimfly/internal/scenario"
 	"slimfly/internal/sim"
 	"slimfly/internal/topo"
@@ -51,10 +52,16 @@ func main() {
 		traceOut   = flag.String("trace-out", "", "write the sampled packet trace to this file (adds the trace collector; single load point only)")
 		traceFmt   = flag.String("trace-format", "chrome", "trace file format: chrome (Perfetto-loadable trace-event JSON) or jsonl")
 		debugAddr  = flag.String("debug-addr", "", "serve /debug/vars and /debug/pprof on this address while running")
+		backend    = flag.String("route-backend", "auto", "routing backend: auto (tables while they fit memory), tables, or computed (algebraic, for kinds marked [algebraic routing] in -list)")
 		seed       = flag.Uint64("seed", 1, "seed")
 		list       = flag.Bool("list", false, "list registered topologies, algos, patterns and collectors")
 	)
 	flag.Parse()
+
+	policy, err := route.ParsePolicy(*backend)
+	if err != nil {
+		usage(err)
+	}
 
 	if *debugAddr != "" {
 		d, err := obs.ServeDebug(*debugAddr)
@@ -107,15 +114,17 @@ func main() {
 	hasLat := slices.Contains(selected, "latency")
 	hasChan := slices.Contains(selected, "channels")
 
-	// The memoised Env shares the topology, tables and pattern across the
-	// load sweep; only the load differs per run.
-	env := scenario.NewEnv()
-	t, _, err := env.Topo(spec.Topo)
+	// The memoised Env shares the topology, routing backend and pattern
+	// across the load sweep; only the load differs per run.
+	env := scenario.NewEnv(scenario.WithRouteBackend(policy))
+	t, rt, err := env.Topo(spec.Topo)
 	if err != nil {
 		fail(err)
 	}
 	if !*jsonOut {
 		fmt.Println(topo.Summary(t))
+		fmt.Printf("routing: backend=%s table_bytes=%d (9*n*n estimate %d)\n",
+			rt.Backend(), rt.TableBytes(), route.EstimateTableBytes(t.Graph().N()))
 	}
 	if spec.Pattern == "worstcase" && !scenario.HasWorstCase(t) {
 		fmt.Fprintf(os.Stderr, "sfsim: no adversarial pattern for %s; worstcase falls back to uniform traffic\n", t.Name())

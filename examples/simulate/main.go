@@ -24,7 +24,7 @@ func main() {
 
 	row := func(label string, t topo.Topology, tb *route.Tables, a sim.Algo, p traffic.Pattern, load float64) {
 		s, err := sim.New(sim.Config{
-			Topo: t, Tables: tb, Algo: a, Pattern: p, Load: load,
+			Topo: t, Router: tb, Algo: a, Pattern: p, Load: load,
 			Warmup: 1500, Measure: 3000, Seed: 7,
 		})
 		if err != nil {

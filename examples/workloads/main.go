@@ -37,7 +37,7 @@ func main() {
 
 	run := func(t topo.Topology, tb *route.Tables, p traffic.Pattern) sim.Result {
 		s, err := sim.New(sim.Config{
-			Topo: t, Tables: tb, Algo: sim.UGALL{}, Pattern: p, Load: 0.5,
+			Topo: t, Router: tb, Algo: sim.UGALL{}, Pattern: p, Load: 0.5,
 			Warmup: 1000, Measure: 2500, Seed: 11,
 		})
 		if err != nil {

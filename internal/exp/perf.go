@@ -58,9 +58,9 @@ type perfNetworks struct {
 	sf   *slimfly.SlimFly
 	df   topo.Topology
 	ft   *fattree.FatTree
-	sfTb *route.Tables
-	dfTb *route.Tables
-	ftTb *route.Tables
+	sfTb route.Router
+	dfTb route.Router
+	ftTb route.Router
 }
 
 // runCtx is the context the experiment pools run under. Experiments
@@ -91,7 +91,7 @@ func runContext() context.Context {
 var perfEnv = scenario.NewEnv()
 
 // mustTopo resolves a topology spec through the shared memoised Env.
-func mustTopo(spec scenario.TopoSpec) (topo.Topology, *route.Tables) {
+func mustTopo(spec scenario.TopoSpec) (topo.Topology, route.Router) {
 	tp, tb, err := perfEnv.Topo(spec)
 	if err != nil {
 		panic(err)
@@ -112,7 +112,7 @@ func buildPerfNetworks(sc PerfScale, seed uint64) perfNetworks {
 type runSpec struct {
 	label   string
 	tp      topo.Topology
-	tb      *route.Tables
+	tb      route.Router
 	algo    sim.Algo
 	pattern traffic.Pattern
 	load    float64
@@ -132,7 +132,7 @@ func runAll(specs []runSpec, sc PerfScale, seed uint64, metricsSel string) ([]si
 		i := i
 		tasks[i] = sweep.Task{Build: func() (sim.Config, error) {
 			return sim.Config{
-				Topo: specs[i].tp, Tables: specs[i].tb, Algo: specs[i].algo,
+				Topo: specs[i].tp, Router: specs[i].tb, Algo: specs[i].algo,
 				Pattern: specs[i].pattern, Load: specs[i].load,
 				Warmup: sc.Warmup, Measure: sc.Measure, Drain: sc.Drain,
 				Metrics: metricsSel,
@@ -193,7 +193,7 @@ func runConfigs(cfgs []sim.Config) ([]sim.Result, []*metrics.Summary) {
 
 // patternFor builds the per-topology traffic pattern for a Figure 6
 // subfigure; the construction rules live in the scenario registry now.
-func (p *perfNetworks) patternFor(name string, tp topo.Topology, tb *route.Tables, seed uint64) traffic.Pattern {
+func (p *perfNetworks) patternFor(name string, tp topo.Topology, tb route.Router, seed uint64) traffic.Pattern {
 	pat, err := scenario.BuildPattern(name, tp, tb, seed)
 	if err != nil {
 		return traffic.Uniform{N: tp.Endpoints()}
@@ -221,7 +221,7 @@ func Fig6(pattern string, sc PerfScale, seed uint64) *Table {
 	// definition Fig6Specs expresses declaratively.
 	type netBundle struct {
 		tp  topo.Topology
-		tb  *route.Tables
+		tb  route.Router
 		pat traffic.Pattern
 	}
 	byKind := map[string]netBundle{
@@ -271,7 +271,7 @@ func Fig8a(sc PerfScale, seed uint64) *Table {
 		for _, load := range fig8aLoads {
 			pts = append(pts, point{buf, load})
 			cfgs = append(cfgs, sim.Config{
-				Topo: sf, Tables: tb, Algo: sim.UGALL{}, Pattern: wc, Load: load,
+				Topo: sf, Router: tb, Algo: sim.UGALL{}, Pattern: wc, Load: load,
 				BufPerPort: buf, Warmup: sc.Warmup, Measure: sc.Measure, Drain: sc.Drain,
 				// The buffer study runs adversarial traffic; the channel
 				// collector makes the induced hotspot itself part of the
@@ -330,7 +330,7 @@ func Fig8be(sc PerfScale, seed uint64) *Table {
 				for _, load := range loads {
 					pts = append(pts, point{p, pat, a.Name(), load})
 					cfgs = append(cfgs, sim.Config{
-						Topo: sf, Tables: tb, Algo: a, Pattern: pattern, Load: load,
+						Topo: sf, Router: tb, Algo: a, Pattern: pattern, Load: load,
 						Warmup: sc.Warmup, Measure: sc.Measure, Drain: sc.Drain, Seed: seed,
 					})
 				}

@@ -22,7 +22,7 @@ func goldenTrace(t *testing.T) *metrics.TraceStats {
 	sf := slimfly.MustNew(5)
 	rt := route.Build(sf.Graph())
 	_, sum, err := sim.RunSummary(sim.Config{
-		Topo: sf, Tables: rt, Algo: sim.UGALL{},
+		Topo: sf, Router: rt, Algo: sim.UGALL{},
 		Pattern: traffic.Uniform{N: sf.Endpoints()},
 		Load:    0.3, Warmup: 300, Measure: 800, Drain: 8000, Seed: 12345,
 		Metrics: "trace",

@@ -1,0 +1,85 @@
+package route_test
+
+// Routing-backend build benchmarks: the cost the algebraic backends
+// exist to remove. BenchmarkTablesBuild prices the all-pairs BFS + flat
+// port table at the paper's small (q=17, 578 routers) and large (q=43,
+// 3698 routers) Slim Fly scales -- 9*n*n bytes and O(n^2) work, the
+// term that walls off q>43. BenchmarkSimNew prices a full simulator
+// construction on each backend: at q=43 the tables variant is dominated
+// by the BFS build, while the computed variant only pays generator-set
+// membership setup, which is where the >=5x sim.New acceptance claim is
+// measured. CI runs these with -benchtime 1x and publishes best-of-3 as
+// BENCH_route.json alongside BENCH_engine.json.
+
+import (
+	"fmt"
+	"testing"
+
+	"slimfly/internal/route"
+	"slimfly/internal/sim"
+	"slimfly/internal/topo/slimfly"
+	"slimfly/internal/traffic"
+)
+
+// benchSF builds the q-order Slim Fly at concentration 4: enough
+// endpoints to exercise construction, small enough that router-side
+// routing state dominates (what these benchmarks price).
+func benchSF(b *testing.B, q int) *slimfly.SlimFly {
+	b.Helper()
+	sf, err := slimfly.NewWithConcentration(q, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sf
+}
+
+func BenchmarkTablesBuild(b *testing.B) {
+	for _, q := range []int{17, 43} {
+		q := q
+		b.Run(fmt.Sprintf("q%d", q), func(b *testing.B) {
+			sf := benchSF(b, q)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt := route.Build(sf.Graph())
+				if rt.MaxDistance() != 2 {
+					b.Fatal("bad build")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSimNew(b *testing.B) {
+	for _, q := range []int{17, 43} {
+		for _, backend := range []route.Policy{route.PolicyTables, route.PolicyComputed} {
+			q, backend := q, backend
+			b.Run(fmt.Sprintf("q%d@%s", q, backend), func(b *testing.B) {
+				sf := benchSF(b, q)
+				budget := route.EstimateTableBytes(sf.Graph().N()) + 1
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// Backend construction is part of the measured cost:
+					// this is what every sweep job pays per network.
+					rt, err := route.Select(sf.Graph(), sf, backend, budget)
+					if err != nil {
+						b.Fatal(err)
+					}
+					// Lean queue parameters (as the q=43 scale tests use), so
+					// the measured delta is routing state, not packet buffers.
+					s, err := sim.New(sim.Config{
+						Topo: sf, Router: rt, Algo: sim.MIN{},
+						Pattern: traffic.Uniform{N: sf.Endpoints()},
+						Load:    0.1, Warmup: 10, Measure: 10, Seed: 1,
+						NumVCs: 2, BufPerPort: 8,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					s.Close()
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package route_test
+
+// The parity wall for algebraic backends: every answer the computed
+// backend gives must be byte-equal to the BFS tables built on the same
+// graph -- distances, next hops, ports, bulk rows, Valiant lengths and
+// the diameter. The cases cover every family with an oracle and, for
+// Slim Fly, every delta class of q = 4w + delta including extension
+// fields (8 = 2^3, 9 = 3^2, 16 = 2^4, 25 = 5^2).
+
+import (
+	"errors"
+	"testing"
+
+	"slimfly/internal/graph"
+	"slimfly/internal/route"
+	"slimfly/internal/topo/fattree"
+	"slimfly/internal/topo/hypercube"
+	"slimfly/internal/topo/slimfly"
+	"slimfly/internal/topo/torus"
+)
+
+// checkParity cross-checks the computed backend against BFS tables on
+// every (source, destination) pair.
+func checkParity(t *testing.T, g *graph.Graph, o route.Oracle) {
+	t.Helper()
+	tb := route.Build(g)
+	c := route.NewComputed(g, o)
+	if got, want := c.MaxDistance(), tb.MaxDistance(); got != want {
+		t.Fatalf("MaxDistance: computed %d, tables %d", got, want)
+	}
+	n := g.N()
+	rowT := make([]int32, n)
+	rowC := make([]int32, n)
+	for u := 0; u < n; u++ {
+		tb.NextPortRowInto(u, rowT)
+		c.NextPortRowInto(u, rowC)
+		for d := 0; d < n; d++ {
+			if gd, wd := c.Distance(u, d), tb.Distance(u, d); gd != wd {
+				t.Fatalf("Distance(%d,%d): computed %d, tables %d", u, d, gd, wd)
+			}
+			if rowC[d] != rowT[d] {
+				t.Fatalf("NextPort(%d,%d): computed %d, tables %d", u, d, rowC[d], rowT[d])
+			}
+			if gh, wh := c.NextHop(u, d), tb.NextHop(u, d); gh != wh {
+				t.Fatalf("NextHop(%d,%d): computed %d, tables %d", u, d, gh, wh)
+			}
+			if c.NextPort(u, d) != rowT[d] {
+				t.Fatalf("NextPort(%d,%d) point lookup disagrees with row", u, d)
+			}
+		}
+	}
+	// Valiant lengths on a deterministic triple sample.
+	for i := 0; i < n; i++ {
+		s, r, d := i, (i*7+3)%n, (i*13+1)%n
+		if gv, wv := c.ValiantLen(s, r, d), tb.ValiantLen(s, r, d); gv != wv {
+			t.Fatalf("ValiantLen(%d,%d,%d): computed %d, tables %d", s, r, d, gv, wv)
+		}
+	}
+}
+
+func TestComputedMatchesTablesSlimFly(t *testing.T) {
+	// One q per delta class and per field kind: prime delta=+1 (5, 13),
+	// prime delta=-1 (7), char-2 extension delta=0 (8, 16), odd prime
+	// square delta=+1 (9, 25).
+	for _, q := range []int{5, 7, 8, 9, 13, 16, 25} {
+		q := q
+		t.Run(map[int]string{5: "q5", 7: "q7", 8: "q8", 9: "q9", 13: "q13", 16: "q16", 25: "q25"}[q], func(t *testing.T) {
+			t.Parallel()
+			sf := slimfly.MustNew(q)
+			checkParity(t, sf.Graph(), sf)
+		})
+	}
+}
+
+func TestComputedMatchesTablesHypercube(t *testing.T) {
+	for _, dim := range []int{1, 3, 5, 7} {
+		hc := hypercube.MustNew(dim)
+		checkParity(t, hc.Graph(), hc)
+	}
+}
+
+func TestComputedMatchesTablesTorus(t *testing.T) {
+	for _, dims := range [][]int{{4}, {2, 2}, {4, 3, 2}, {5, 4, 3}, {3, 3, 3, 3, 3}, {7, 2}} {
+		tt := torus.MustNew(dims, 1)
+		checkParity(t, tt.Graph(), tt)
+	}
+}
+
+func TestComputedMatchesTablesFatTree(t *testing.T) {
+	for _, p := range []int{2, 3, 4, 6} {
+		ft := fattree.MustNew(p)
+		checkParity(t, ft.Graph(), ft)
+	}
+}
+
+func TestSelectPolicies(t *testing.T) {
+	sf := slimfly.MustNew(5)
+	g := sf.Graph()
+	est := route.EstimateTableBytes(g.N())
+
+	// auto under budget -> tables.
+	rt, err := route.Select(g, sf, route.PolicyAuto, 0)
+	if err != nil || rt.Backend() != "tables" {
+		t.Fatalf("auto under budget: backend %v err %v, want tables", rt, err)
+	}
+	// auto over budget with an oracle -> computed.
+	rt, err = route.Select(g, sf, route.PolicyAuto, est-1)
+	if err != nil || rt.Backend() != "computed" {
+		t.Fatalf("auto over budget: backend %v err %v, want computed", rt, err)
+	}
+	// auto over budget without an oracle -> tables anyway.
+	rt, err = route.Select(g, nil, route.PolicyAuto, est-1)
+	if err != nil || rt.Backend() != "tables" {
+		t.Fatalf("auto no oracle: backend %v err %v, want tables", rt, err)
+	}
+	// forced computed with an oracle.
+	rt, err = route.Select(g, sf, route.PolicyComputed, 0)
+	if err != nil || rt.Backend() != "computed" {
+		t.Fatalf("computed: backend %v err %v", rt, err)
+	}
+	// forced computed without an oracle falls back to tables.
+	rt, err = route.Select(g, nil, route.PolicyComputed, 0)
+	if err != nil || rt.Backend() != "tables" {
+		t.Fatalf("computed fallback: backend %v err %v", rt, err)
+	}
+	// forced tables over budget is a structured rejection.
+	_, err = route.Select(g, sf, route.PolicyTables, est-1)
+	var be *route.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("tables over budget: err %v, want *BudgetError", err)
+	}
+	if be.Routers != g.N() || be.EstimatedBytes != est || be.Budget != est-1 {
+		t.Fatalf("BudgetError fields: %+v", be)
+	}
+	// forced tables under budget succeeds.
+	rt, err = route.Select(g, sf, route.PolicyTables, 0)
+	if err != nil || rt.Backend() != "tables" {
+		t.Fatalf("tables: backend %v err %v", rt, err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]route.Policy{
+		"": route.PolicyAuto, "auto": route.PolicyAuto,
+		"tables": route.PolicyTables, "computed": route.PolicyComputed,
+	} {
+		got, err := route.ParsePolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := route.ParsePolicy("bfs"); err == nil {
+		t.Fatal("ParsePolicy(bfs): want error")
+	}
+}
+
+func TestTablesRouterViews(t *testing.T) {
+	sf := slimfly.MustNew(5)
+	var rt route.Router = route.Build(sf.Graph())
+	if rt.Graph() != sf.Graph() {
+		t.Fatal("Tables.Graph mismatch")
+	}
+	if rt.Backend() != "tables" {
+		t.Fatalf("Tables.Backend = %q", rt.Backend())
+	}
+	if got, want := rt.TableBytes(), route.EstimateTableBytes(sf.Graph().N()); got != want {
+		t.Fatalf("Tables.TableBytes = %d, want %d", got, want)
+	}
+	// The flat-table capability is what the simulator hot path keys on.
+	if _, ok := rt.(route.FlatPorter); !ok {
+		t.Fatal("Tables must implement route.FlatPorter")
+	}
+	if _, ok := any(route.NewComputed(sf.Graph(), sf)).(route.FlatPorter); ok {
+		t.Fatal("Computed must not claim FlatPorter")
+	}
+}

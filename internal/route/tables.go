@@ -174,3 +174,18 @@ func (t *Tables) ValiantLen(s, r, d int) int {
 // every simulator construction, and the old per-call O(n^2) rescan dominated
 // setup cost for large networks.
 func (t *Tables) MaxDistance() int { return t.maxDist }
+
+// Graph returns the router graph the tables were built for.
+func (t *Tables) Graph() *graph.Graph { return t.G }
+
+// NextPortRowInto copies router u's port row into row (length >= n).
+func (t *Tables) NextPortRowInto(u int, row []int32) {
+	copy(row, t.nextPort[u*t.n:(u+1)*t.n])
+}
+
+// TableBytes reports the materialized routing state: the three flat n*n
+// backings (1-byte Dist, 4-byte Next, 4-byte NextPort).
+func (t *Tables) TableBytes() int64 { return EstimateTableBytes(t.n) }
+
+// Backend names the implementation for telemetry and CLI output.
+func (t *Tables) Backend() string { return "tables" }

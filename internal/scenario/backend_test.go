@@ -1,0 +1,198 @@
+package scenario_test
+
+// Backend selection tests: the registry-driven parity wall (every kind
+// that advertises an algebraic form must produce a computed backend that
+// is byte-equal to BFS tables), the auto policy's memory-budget switch,
+// and the SF q=43 guards -- the network the paper's scaling claim needs
+// and the one the O(n^2) tables cannot serve (9*n*n ~ 123 MiB).
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+
+	"slimfly/internal/route"
+	"slimfly/internal/scenario"
+	"slimfly/internal/sim"
+)
+
+// TestBackendParityWall cross-checks, for every registered topology kind
+// at small size, that (a) the Algebraic registry flag matches the built
+// instance's route.Oracle capability, and (b) where the capability
+// exists, the computed backend agrees with BFS tables on every distance
+// and port.
+func TestBackendParityWall(t *testing.T) {
+	for _, kind := range scenario.Names(scenario.Topologies) {
+		kind := kind
+		t.Run(kind, func(t *testing.T) {
+			t.Parallel()
+			ts := scenario.TopoSpec{Kind: kind, N: 96, Seed: 1}
+			tp, tables, err := scenario.BuildRouting(ts, route.PolicyTables, 0)
+			if err != nil {
+				t.Fatalf("tables build: %v", err)
+			}
+			_, isOracle := tp.(route.Oracle)
+			if isOracle != scenario.Algebraic(kind) {
+				t.Fatalf("registry Algebraic=%v but instance oracle capability=%v", scenario.Algebraic(kind), isOracle)
+			}
+			_, forced, err := scenario.BuildRouting(ts, route.PolicyComputed, 0)
+			if err != nil {
+				t.Fatalf("computed build: %v", err)
+			}
+			if !isOracle {
+				// No closed form: the computed policy must fall back to
+				// tables rather than fail.
+				if forced.Backend() != "tables" {
+					t.Fatalf("irregular kind resolved backend %q, want tables fallback", forced.Backend())
+				}
+				return
+			}
+			if forced.Backend() != "computed" {
+				t.Fatalf("algebraic kind resolved backend %q, want computed", forced.Backend())
+			}
+			if got, want := forced.MaxDistance(), tables.MaxDistance(); got != want {
+				t.Fatalf("MaxDistance: computed %d, tables %d", got, want)
+			}
+			n := tp.Graph().N()
+			rowT := make([]int32, n)
+			rowC := make([]int32, n)
+			for u := 0; u < n; u++ {
+				tables.NextPortRowInto(u, rowT)
+				forced.NextPortRowInto(u, rowC)
+				for d := 0; d < n; d++ {
+					if tables.Distance(u, d) != forced.Distance(u, d) {
+						t.Fatalf("Distance(%d,%d): computed %d, tables %d", u, d, forced.Distance(u, d), tables.Distance(u, d))
+					}
+					if rowT[d] != rowC[d] {
+						t.Fatalf("NextPort(%d,%d): computed %d, tables %d", u, d, rowC[d], rowT[d])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEnvAutoBudgetSwitch pins the auto policy's pivot: the same spec
+// resolves to tables under a roomy budget and to the computed backend
+// when the 9*n*n estimate exceeds it.
+func TestEnvAutoBudgetSwitch(t *testing.T) {
+	ts := scenario.TopoSpec{Kind: "SF", Q: 17}
+
+	envBig := scenario.NewEnv() // default 64 MiB budget; q=17 needs ~1 MiB
+	_, rt, err := envBig.Topo(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Backend() != "tables" || rt.TableBytes() == 0 {
+		t.Fatalf("under budget: backend %q table_bytes %d, want tables", rt.Backend(), rt.TableBytes())
+	}
+
+	envTight := scenario.NewEnv(scenario.WithRouteBudget(1 << 10))
+	_, rt, err = envTight.Topo(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Backend() != "computed" || rt.TableBytes() != 0 {
+		t.Fatalf("over budget: backend %q table_bytes %d, want computed", rt.Backend(), rt.TableBytes())
+	}
+}
+
+// heapDelta runs f and returns the growth of the live heap across it.
+func heapDelta(f func()) int64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	return int64(after.HeapAlloc) - int64(before.HeapAlloc)
+}
+
+// TestQ43TablesRejected pins the structured rejection: forcing BFS
+// tables for SF q=43 (3698 routers, ~123 MiB of 9*n*n state) must fail
+// fast with a *route.BudgetError naming the estimate -- before any BFS
+// or table allocation happens.
+func TestQ43TablesRejected(t *testing.T) {
+	_, _, err := scenario.BuildRouting(scenario.TopoSpec{Kind: "SF", Q: 43, P: 4}, route.PolicyTables, 0)
+	var be *route.BudgetError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want *route.BudgetError", err)
+	}
+	const nr = 2 * 43 * 43
+	if be.Routers != nr || be.EstimatedBytes != route.EstimateTableBytes(nr) || be.Budget != route.DefaultTableBudget {
+		t.Fatalf("BudgetError fields: %+v", be)
+	}
+}
+
+// TestQ43AutoBuildUnderBudget is the memory-budget guard for the build
+// path: resolving the SF q=43 network under backend=auto must produce
+// the computed backend and grow the live heap far less than the 123 MiB
+// the tables would cost. The 64 MiB pin (the auto policy's own table
+// budget) leaves ~60x headroom over the measured ~1 MiB graph while
+// still catching any accidental n*n materialization.
+func TestQ43AutoBuildUnderBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the q=43 network; skipped in -short")
+	}
+	env := scenario.NewEnv()
+	var rt route.Router
+	delta := heapDelta(func() {
+		var err error
+		_, rt, err = env.Topo(scenario.TopoSpec{Kind: "SF", Q: 43, P: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if rt.Backend() != "computed" {
+		t.Fatalf("backend %q, want computed (estimate %d over budget %d)",
+			rt.Backend(), route.EstimateTableBytes(rt.Graph().N()), route.DefaultTableBudget)
+	}
+	if rt.TableBytes() != 0 {
+		t.Fatalf("computed backend reports %d table bytes, want 0", rt.TableBytes())
+	}
+	const budget = 64 << 20
+	if delta > budget {
+		t.Fatalf("env build grew the heap by %d bytes, budget %d", delta, budget)
+	}
+	runtime.KeepAlive(env)
+}
+
+// TestQ43EndToEnd runs the acceptance scenario: SF q=43 (3698 routers --
+// the scale where BFS tables stop fitting) built and simulated end to
+// end under backend=auto, with the whole thing staying under a pinned
+// heap budget. Concentration is held at p=4 so endpoint-side state
+// (injection queues, packet buffers) doesn't swamp what the test is
+// guarding: that routing state no longer scales with n^2.
+func TestQ43EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulates the q=43 network; skipped in -short")
+	}
+	env := scenario.NewEnv()
+	var res sim.Result
+	delta := heapDelta(func() {
+		cfg, err := env.Config(scenario.Spec{
+			Topo: scenario.TopoSpec{Kind: "SF", Q: 43, P: 4},
+			Algo: "min", Pattern: "uniform",
+			Load: 0.02, Seed: 7,
+			Sim: scenario.SimParams{Warmup: 30, Measure: 50, Drain: 300, NumVCs: 2, BufPerPort: 8},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cfg.Router.Backend() != "computed" {
+			t.Fatalf("backend %q, want computed", cfg.Router.Backend())
+		}
+		res, err = sim.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if res.Delivered <= 0 {
+		t.Fatalf("q=43 run delivered no packets: %+v", res)
+	}
+	const budget = 256 << 20 // tables alone would be ~123 MiB before any sim state
+	if delta > budget {
+		t.Fatalf("q=43 end-to-end grew the heap by %d bytes, budget %d", delta, budget)
+	}
+	runtime.KeepAlive(env)
+}

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"slimfly/internal/obs"
 	"slimfly/internal/route"
@@ -13,16 +14,30 @@ import (
 // Runtime telemetry (internal/obs): build spans and memoisation hit
 // counters across every Env in the process. "Hits" count resolutions
 // served from an existing entry; builds time the once-guarded
-// construction itself (topology + routing tables, pattern derivation).
+// construction itself (topology + routing backend, pattern derivation).
+// The route.* series report what backend the latest topology build
+// resolved to and what its materialized state costs, so /debug/vars and
+// sfsweepd show whether a live sweep is running on tables or computed
+// routing.
 var (
 	obsTopoBuildSpan    = obs.NewTimer("scenario.build_topo")
 	obsTopoHits         = obs.NewCounter("scenario.topo_hits")
 	obsPatternBuildSpan = obs.NewTimer("scenario.build_pattern")
 	obsPatternHits      = obs.NewCounter("scenario.pattern_hits")
+
+	obsRouteTableBytes = obs.NewGauge("scenario.route.table_bytes")
+	obsRouteTables     = obs.NewCounter("scenario.route.tables_builds")
+	obsRouteComputed   = obs.NewCounter("scenario.route.computed_builds")
+	obsRouteBackend    atomic.Value // string: latest resolved backend name
 )
 
+func init() {
+	obsRouteBackend.Store("")
+	obs.Publish("scenario.route.backend", func() any { return obsRouteBackend.Load() })
+}
+
 // Env resolves scenario specs into runnable simulator configurations,
-// memoising the expensive parts -- topology construction, routing-table
+// memoising the expensive parts -- topology construction, routing-backend
 // builds and adversarial-pattern derivation -- so many resolutions of the
 // same network (a sweep's workers, a CLI load sweep) build it exactly
 // once. All methods are safe for concurrent use; construction is lazy, so
@@ -31,12 +46,18 @@ type Env struct {
 	mu       sync.Mutex
 	topos    map[TopoSpec]*builtTopo
 	patterns map[patternKey]*builtPattern
+
+	// Routing-backend policy for every topology this Env builds. Like
+	// Workers, the policy never enters Spec.Key: backends are bit-equal by
+	// contract, so cached results are backend-invariant.
+	backend route.Policy
+	budget  int64 // table-memory budget in bytes; <= 0 means route.DefaultTableBudget
 }
 
 type builtTopo struct {
 	once sync.Once
 	tp   topo.Topology
-	tb   *route.Tables
+	rt   route.Router
 	err  error
 }
 
@@ -52,17 +73,37 @@ type builtPattern struct {
 	err  error
 }
 
+// EnvOption configures an Env at construction (distinct from Option,
+// which adjusts a single Spec resolution).
+type EnvOption func(*Env)
+
+// WithRouteBackend selects the routing-backend policy (route.PolicyAuto,
+// route.PolicyTables, route.PolicyComputed) for every topology the Env
+// builds. The default is auto: BFS tables while they fit the budget,
+// computed above it for kinds with an algebraic form.
+func WithRouteBackend(p route.Policy) EnvOption { return func(e *Env) { e.backend = p } }
+
+// WithRouteBudget overrides the table-memory budget in bytes for the
+// auto policy's tables-vs-computed switch (and for tables rejection);
+// <= 0 keeps route.DefaultTableBudget.
+func WithRouteBudget(bytes int64) EnvOption { return func(e *Env) { e.budget = bytes } }
+
 // NewEnv returns an empty resolver environment.
-func NewEnv() *Env {
-	return &Env{
+func NewEnv(opts ...EnvOption) *Env {
+	e := &Env{
 		topos:    make(map[TopoSpec]*builtTopo),
 		patterns: make(map[patternKey]*builtPattern),
+		backend:  route.PolicyAuto,
 	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
 }
 
-// Topo builds (once) and returns the topology and its minimal routing
-// tables for spec t.
-func (e *Env) Topo(t TopoSpec) (topo.Topology, *route.Tables, error) {
+// Topo builds (once) and returns the topology and its minimal-routing
+// backend for spec t, resolved under the Env's backend policy.
+func (e *Env) Topo(t TopoSpec) (topo.Topology, route.Router, error) {
 	t = t.Canonical()
 	e.mu.Lock()
 	b := e.topos[t]
@@ -75,14 +116,23 @@ func (e *Env) Topo(t TopoSpec) (topo.Topology, *route.Tables, error) {
 	e.mu.Unlock()
 	b.once.Do(func() {
 		defer obsTopoBuildSpan.Start().End()
-		b.tp, b.tb, b.err = BuildTopology(t)
+		b.tp, b.rt, b.err = BuildRouting(t, e.backend, e.budget)
+		if b.err == nil {
+			obsRouteTableBytes.Set(b.rt.TableBytes())
+			obsRouteBackend.Store(b.rt.Backend())
+			if b.rt.Backend() == "computed" {
+				obsRouteComputed.Inc()
+			} else {
+				obsRouteTables.Inc()
+			}
+		}
 	})
-	return b.tp, b.tb, b.err
+	return b.tp, b.rt, b.err
 }
 
 // Pattern builds (once) the named traffic pattern for topology spec t.
 // Adversarial ("worstcase") patterns depend on the topology, its routing
-// tables and the seed; the read-only result is shared across workers.
+// backend and the seed; the read-only result is shared across workers.
 func (e *Env) Pattern(t TopoSpec, name string, seed uint64) (traffic.Pattern, error) {
 	t = t.Canonical()
 	k := patternKey{topo: t, name: name, seed: seed}
@@ -96,13 +146,13 @@ func (e *Env) Pattern(t TopoSpec, name string, seed uint64) (traffic.Pattern, er
 	}
 	e.mu.Unlock()
 	b.once.Do(func() {
-		tp, tb, err := e.Topo(t)
+		tp, rt, err := e.Topo(t)
 		if err != nil {
 			b.err = err
 			return
 		}
 		defer obsPatternBuildSpan.Start().End()
-		b.pat, b.err = BuildPattern(name, tp, tb, seed)
+		b.pat, b.err = BuildPattern(name, tp, rt, seed)
 	})
 	return b.pat, b.err
 }
@@ -139,13 +189,13 @@ func WithWorkers(n int) Option { return func(s *Spec) { s.Sim.Workers = n } }
 func WithMetrics(sel string) Option { return func(s *Spec) { s.Sim.Metrics = sel } }
 
 // Config resolves spec s (with opts applied to a copy) into a runnable
-// simulator configuration: topology and tables from the memoised builds,
-// algorithm and pattern by registry name.
+// simulator configuration: topology and routing backend from the memoised
+// builds, algorithm and pattern by registry name.
 func (e *Env) Config(s Spec, opts ...Option) (sim.Config, error) {
 	for _, o := range opts {
 		o(&s)
 	}
-	tp, tb, err := e.Topo(s.Topo)
+	tp, rt, err := e.Topo(s.Topo)
 	if err != nil {
 		return sim.Config{}, err
 	}
@@ -159,7 +209,7 @@ func (e *Env) Config(s Spec, opts ...Option) (sim.Config, error) {
 	}
 	p := s.Sim
 	return sim.Config{
-		Topo: tp, Tables: tb, Algo: algo, Pattern: pat, Load: s.Load,
+		Topo: tp, Router: rt, Algo: algo, Pattern: pat, Load: s.Load,
 		NumVCs: p.NumVCs, BufPerPort: p.BufPerPort,
 		RouterDelay: p.RouterDelay, ChannelDelay: p.ChannelDelay,
 		CreditDelay: p.CreditDelay, Speedup: p.Speedup,

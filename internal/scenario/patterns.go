@@ -11,8 +11,8 @@ import (
 )
 
 // simplePattern adapts a pattern needing only the endpoint count.
-func simplePattern(f func(n int) traffic.Pattern) func(topo.Topology, *route.Tables, uint64) (traffic.Pattern, error) {
-	return func(tp topo.Topology, _ *route.Tables, _ uint64) (traffic.Pattern, error) {
+func simplePattern(f func(n int) traffic.Pattern) func(topo.Topology, route.Router, uint64) (traffic.Pattern, error) {
+	return func(tp topo.Topology, _ route.Router, _ uint64) (traffic.Pattern, error) {
 		return f(tp.Endpoints()), nil
 	}
 }
@@ -46,9 +46,9 @@ func init() {
 	RegisterPattern(PatternDef{
 		Name: "worstcase",
 		Desc: "per-family adversarial permutation (Section V-C); uniform where no adversary is known",
-		Build: func(tp topo.Topology, tb *route.Tables, seed uint64) (traffic.Pattern, error) {
+		Build: func(tp topo.Topology, rt route.Router, seed uint64) (traffic.Pattern, error) {
 			if wc, ok := tp.(WorstCaser); ok {
-				return wc.WorstCase(tb, seed), nil
+				return wc.WorstCase(rt, seed), nil
 			}
 			return traffic.Uniform{N: tp.Endpoints()}, nil
 		},
@@ -59,7 +59,7 @@ func init() {
 // topology; the empty name means uniform. "worstcase" dispatches through
 // the WorstCaser capability, so a topology family gains adversarial
 // coverage everywhere (CLI, sweep, experiments) by implementing it.
-func BuildPattern(name string, tp topo.Topology, tb *route.Tables, seed uint64) (traffic.Pattern, error) {
+func BuildPattern(name string, tp topo.Topology, rt route.Router, seed uint64) (traffic.Pattern, error) {
 	if name == "" {
 		name = "uniform"
 	}
@@ -67,5 +67,5 @@ func BuildPattern(name string, tp topo.Topology, tb *route.Tables, seed uint64) 
 	if err != nil {
 		return nil, err
 	}
-	return def.Build(tp, tb, seed)
+	return def.Build(tp, rt, seed)
 }

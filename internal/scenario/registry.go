@@ -11,11 +11,15 @@ import (
 )
 
 // TopologyDef registers one topology kind: how to build it from a
-// TopoSpec, plus a one-line description for -list output.
+// TopoSpec, plus a one-line description for -list output. Algebraic
+// declares that every instance the kind builds implements route.Oracle
+// (closed-form distances), so the computed routing backend is available;
+// the conformance test checks the flag against the built instances.
 type TopologyDef struct {
-	Name  string
-	Desc  string
-	Build func(t TopoSpec) (topo.Topology, error)
+	Name      string
+	Desc      string
+	Algebraic bool
+	Build     func(t TopoSpec) (topo.Topology, error)
 }
 
 // AlgoDef registers one routing algorithm. Kinds, when non-empty,
@@ -29,12 +33,12 @@ type AlgoDef struct {
 }
 
 // PatternDef registers one traffic pattern. Build receives the topology,
-// its minimal routing tables and a seed (adversarial patterns need all
-// three; others ignore what they don't use).
+// its routing backend and a seed (adversarial patterns need all three;
+// others ignore what they don't use).
 type PatternDef struct {
 	Name  string
 	Desc  string
-	Build func(tp topo.Topology, tb *route.Tables, seed uint64) (traffic.Pattern, error)
+	Build func(tp topo.Topology, rt route.Router, seed uint64) (traffic.Pattern, error)
 }
 
 // registry is one axis: named defs in registration order. Registration
@@ -85,12 +89,14 @@ var (
 	patterns   = &registry[PatternDef]{axis: Patterns}
 )
 
-func (r *registry[D]) describeWith(desc func(D) string) []Info {
+func (r *registry[D]) describeWith(desc func(D) Info) []Info {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	out := make([]Info, 0, len(r.order))
 	for _, n := range r.order {
-		out = append(out, Info{Name: n, Desc: desc(r.m[n])})
+		in := desc(r.m[n])
+		in.Name = n
+		out = append(out, in)
 	}
 	return out
 }

@@ -50,9 +50,13 @@ const (
 )
 
 // Info describes one registered name for CLI help and documentation.
+// Algebraic is set for topology kinds whose instances carry a closed-form
+// routing oracle (route.Oracle), i.e. the kinds the computed backend can
+// serve without n*n tables.
 type Info struct {
-	Name string
-	Desc string
+	Name      string
+	Desc      string
+	Algebraic bool
 }
 
 // UnknownError reports a name that is not registered on its axis; Known
@@ -94,10 +98,10 @@ func (e *IncompatibleError) Error() string {
 // dispatches through it instead of a type switch, so new families opt in
 // by implementing the method.
 type WorstCaser interface {
-	// WorstCase returns the family's adversarial pattern. tb holds the
-	// minimal routing tables of the topology's router graph; seed
-	// determinises any random tie-breaking.
-	WorstCase(tb *route.Tables, seed uint64) traffic.Pattern
+	// WorstCase returns the family's adversarial pattern. rt answers
+	// minimal routing for the topology's router graph; seed determinises
+	// any random tie-breaking.
+	WorstCase(rt route.Router, seed uint64) traffic.Pattern
 }
 
 // HasWorstCase reports whether tp's family provides an adversarial
@@ -127,11 +131,11 @@ func Names(a Axis) []string {
 func Describe(a Axis) []Info {
 	switch a {
 	case Topologies:
-		return topologies.describeWith(func(d TopologyDef) string { return d.Desc })
+		return topologies.describeWith(func(d TopologyDef) Info { return Info{Desc: d.Desc, Algebraic: d.Algebraic} })
 	case Algos:
-		return algos.describeWith(func(d AlgoDef) string { return d.Desc })
+		return algos.describeWith(func(d AlgoDef) Info { return Info{Desc: d.Desc} })
 	case Patterns:
-		return patterns.describeWith(func(d PatternDef) string { return d.Desc })
+		return patterns.describeWith(func(d PatternDef) Info { return Info{Desc: d.Desc} })
 	}
 	return nil
 }
@@ -193,7 +197,11 @@ func ListText() string {
 		}
 		fmt.Fprintf(&b, "%s:\n", s.head)
 		for _, in := range Describe(s.axis) {
-			fmt.Fprintf(&b, "  %-10s %s\n", in.Name, in.Desc)
+			suffix := ""
+			if in.Algebraic {
+				suffix = " [algebraic routing]"
+			}
+			fmt.Fprintf(&b, "  %-10s %s%s\n", in.Name, in.Desc, suffix)
 		}
 	}
 	return b.String()

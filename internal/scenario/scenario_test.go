@@ -250,7 +250,7 @@ func TestConfigOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Topo != cfg2.Topo || cfg.Tables != cfg2.Tables {
+	if cfg.Topo != cfg2.Topo || cfg.Router != cfg2.Router {
 		t.Error("memoised topology rebuilt across Config calls")
 	}
 }

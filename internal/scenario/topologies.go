@@ -24,8 +24,9 @@ func rosterBuilder(k roster.Kind) func(TopoSpec) (topo.Topology, error) {
 
 func init() {
 	RegisterTopology(TopologyDef{
-		Name: "SF",
-		Desc: "Slim Fly MMS graph, diameter 2 (n near-sizing, or exact q with optional oversubscribed p)",
+		Name:      "SF",
+		Desc:      "Slim Fly MMS graph, diameter 2 (n near-sizing, or exact q with optional oversubscribed p)",
+		Algebraic: true, // generator-set membership over GF(q), diameter 2
 		Build: func(t TopoSpec) (topo.Topology, error) {
 			switch {
 			case t.Q > 0 && t.P > 0:
@@ -43,9 +44,10 @@ func init() {
 		Build: rosterBuilder(roster.DF),
 	})
 	RegisterTopology(TopologyDef{
-		Name:  "FT-3",
-		Desc:  "3-level fat tree (folded Clos)",
-		Build: rosterBuilder(roster.FT3),
+		Name:      "FT-3",
+		Desc:      "3-level fat tree (folded Clos)",
+		Algebraic: true, // up/down level arithmetic
+		Build:     rosterBuilder(roster.FT3),
 	})
 	RegisterTopology(TopologyDef{
 		Name:  "FBF-3",
@@ -53,19 +55,22 @@ func init() {
 		Build: rosterBuilder(roster.FBF3),
 	})
 	RegisterTopology(TopologyDef{
-		Name:  "T3D",
-		Desc:  "3-dimensional torus",
-		Build: rosterBuilder(roster.T3D),
+		Name:      "T3D",
+		Desc:      "3-dimensional torus",
+		Algebraic: true, // per-dimension shortest wrap
+		Build:     rosterBuilder(roster.T3D),
 	})
 	RegisterTopology(TopologyDef{
-		Name:  "T5D",
-		Desc:  "5-dimensional torus",
-		Build: rosterBuilder(roster.T5D),
+		Name:      "T5D",
+		Desc:      "5-dimensional torus",
+		Algebraic: true, // per-dimension shortest wrap
+		Build:     rosterBuilder(roster.T5D),
 	})
 	RegisterTopology(TopologyDef{
-		Name:  "HC",
-		Desc:  "binary hypercube",
-		Build: rosterBuilder(roster.HC),
+		Name:      "HC",
+		Desc:      "binary hypercube",
+		Algebraic: true, // Hamming distance of coordinate bits
+		Build:     rosterBuilder(roster.HC),
 	})
 	RegisterTopology(TopologyDef{
 		Name:  "LH-HC",
@@ -97,11 +102,38 @@ func Topology(t TopoSpec) (topo.Topology, error) {
 }
 
 // BuildTopology builds the named topology together with the minimal
-// routing tables of its router graph, ready for simulation.
+// routing tables of its router graph, ready for simulation. Callers that
+// want backend selection (auto/tables/computed with a memory budget) use
+// BuildRouting instead; this always materializes BFS tables.
 func BuildTopology(t TopoSpec) (topo.Topology, *route.Tables, error) {
 	tp, err := Topology(t)
 	if err != nil {
 		return nil, nil, err
 	}
 	return tp, route.Build(tp.Graph()), nil
+}
+
+// Algebraic reports whether topology kind is registered with a
+// closed-form routing oracle, i.e. the computed backend can serve it.
+func Algebraic(kind string) bool {
+	def, err := topologies.get(kind)
+	return err == nil && def.Algebraic
+}
+
+// BuildRouting builds the named topology and resolves its routing
+// backend under policy and table-memory budget (route.Select): BFS
+// tables while they fit, the topology's algebraic oracle above that, a
+// *route.BudgetError for over-budget forced tables. Irregular kinds
+// (no oracle) always get tables.
+func BuildRouting(t TopoSpec, policy route.Policy, budget int64) (topo.Topology, route.Router, error) {
+	tp, err := Topology(t)
+	if err != nil {
+		return nil, nil, err
+	}
+	o, _ := tp.(route.Oracle)
+	rt, err := route.Select(tp.Graph(), o, policy, budget)
+	if err != nil {
+		return nil, nil, fmt.Errorf("scenario: routing for %s: %w", t, err)
+	}
+	return tp, rt, nil
 }

@@ -11,7 +11,7 @@ import "slimfly/internal/topo/fattree"
 // The port-indexed contract exists for the hot path: the engine consults
 // TargetPort once per buffered head flit per cycle, and a port index feeds
 // the switch allocator directly. Algorithms answer from the precomputed
-// route.Tables port tables (via Sim.PortToward), so no routing decision
+// routing backend port tables (via Sim.PortToward), so no routing decision
 // ever searches an adjacency list. Returning a port outside [0, degree)
 // is a contract violation and makes the engine panic with a diagnostic
 // naming the algorithm and packet (see Sim.badTargetPort).
@@ -125,7 +125,7 @@ func (VAL3) OnInject(s *Sim, p *Packet) {
 		p.Phase = 1
 		return
 	}
-	tb := s.Tables()
+	tb := s.Router()
 	// Bounded redraws; fall back to the best seen if none fits.
 	best := int32(-1)
 	bestLen := 1 << 30
@@ -170,7 +170,7 @@ func (u UGALL) OnInject(s *Sim, p *Packet) {
 	if cands <= 0 {
 		cands = 4
 	}
-	tb := s.Tables()
+	tb := s.Router()
 	src := s.epRouter[p.Src]
 	if src == p.DstRouter {
 		p.Interm = -1

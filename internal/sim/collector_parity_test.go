@@ -262,7 +262,7 @@ func TestCollectorShardBoundaries(t *testing.T) {
 	tb := route.Build(dln.Graph())
 	run := func(workers int) string {
 		s, err := New(Config{
-			Topo: dln, Tables: tb, Algo: MIN{},
+			Topo: dln, Router: tb, Algo: MIN{},
 			Pattern: traffic.Uniform{N: dln.Endpoints()},
 			Load:    0.4, Warmup: 100, Measure: 300, Drain: 4000, Seed: 5,
 			Workers: workers, Metrics: allCollectors,

@@ -19,10 +19,22 @@ import (
 // the measurement window is forced open so manually stepped cycles
 // exercise the full observe path (Hop and Cycle included).
 func newSteadySim(tb testing.TB, q, warm int, algo Algo, workers int, metricsSel string) *Sim {
+	return newSteadySimRouted(tb, q, warm, algo, workers, metricsSel, nil)
+}
+
+// newSteadySimRouted is newSteadySim with a pluggable routing backend:
+// mkRouter receives the built topology and returns the Router the engine
+// should consume (nil means BFS tables, the default backend).
+func newSteadySimRouted(tb testing.TB, q, warm int, algo Algo, workers int, metricsSel string, mkRouter func(testing.TB, *slimfly.SlimFly) route.Router) *Sim {
 	sf := slimfly.MustNew(q)
-	rt := route.Build(sf.Graph())
+	var rt route.Router
+	if mkRouter != nil {
+		rt = mkRouter(tb, sf)
+	} else {
+		rt = route.Build(sf.Graph())
+	}
 	s, err := New(Config{
-		Topo: sf, Tables: rt, Algo: algo, Pattern: traffic.Uniform{N: sf.Endpoints()},
+		Topo: sf, Router: rt, Algo: algo, Pattern: traffic.Uniform{N: sf.Endpoints()},
 		Load: 0.7, Warmup: 1, Measure: 1, Seed: 17, Workers: workers,
 		Metrics: metricsSel,
 	})
@@ -51,24 +63,41 @@ func newSteadySim(tb testing.TB, q, warm int, algo Algo, workers int, metricsSel
 // <5% too (the hot cost is one hash per measured grant). MIN+metrics
 // runs the full stock collector set (channel counters, series and
 // per-source fairness add several hundred KiB of scattered counter
-// increments per cycle, so this one is report-only). Run with -benchmem:
-// every variant must report 0 allocs/op (see TestStepZeroAlloc).
+// increments per cycle, so this one is report-only). MIN@computed swaps
+// the BFS tables for the algebraic backend (no flat port array, every
+// PortToward answers through the Router interface) to price the slow
+// path; MIN@auto routes the backend choice through route.Select as the
+// sweep layer does -- at q=17 the table estimate is under budget, so it
+// must resolve to tables and CI gates it within 5% of plain MIN. Run
+// with -benchmem: every variant must report 0 allocs/op (see
+// TestStepZeroAlloc).
 func BenchmarkEngineStep(b *testing.B) {
 	for _, c := range []struct {
 		name    string
 		algo    Algo
 		metrics string
+		router  func(testing.TB, *slimfly.SlimFly) route.Router
 	}{
-		{"MIN", MIN{}, ""},
-		{"MIN+hist", MIN{}, "latency"},
-		{"MIN+trace", MIN{}, "trace"},
-		{"MIN+metrics", MIN{}, "latency,channels,series,fairness,trace"},
-		{"UGAL-L", UGALL{}, ""},
+		{"MIN", MIN{}, "", nil},
+		{"MIN+hist", MIN{}, "latency", nil},
+		{"MIN+trace", MIN{}, "trace", nil},
+		{"MIN+metrics", MIN{}, "latency,channels,series,fairness,trace", nil},
+		{"UGAL-L", UGALL{}, "", nil},
+		{"MIN@computed", MIN{}, "", func(tb testing.TB, sf *slimfly.SlimFly) route.Router {
+			return route.NewComputed(sf.Graph(), sf)
+		}},
+		{"MIN@auto", MIN{}, "", func(tb testing.TB, sf *slimfly.SlimFly) route.Router {
+			rt, err := route.Select(sf.Graph(), sf, route.PolicyAuto, 0)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			return rt
+		}},
 	} {
 		for _, workers := range []int{0, 1, 2, 4} {
 			c, workers := c, workers
 			b.Run(fmt.Sprintf("%s/w%d", c.name, workers), func(b *testing.B) {
-				s := newSteadySim(b, 17, 2000, c.algo, workers, c.metrics)
+				s := newSteadySimRouted(b, 17, 2000, c.algo, workers, c.metrics, c.router)
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					s.step(true)
@@ -110,6 +139,26 @@ func TestStepZeroAlloc(t *testing.T) {
 				}
 			})
 		}
+	}
+	// The computed (algebraic) backend has no flat port array, so every
+	// PortToward answers through the Router interface -- arithmetic on
+	// state prebuilt at construction, which must stay allocation-free
+	// exactly like the one-array-load tables path.
+	for _, workers := range []int{0, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("w%d+computed", workers), func(t *testing.T) {
+			s := newSteadySimRouted(t, 9, 2000, MIN{}, workers, "",
+				func(tb testing.TB, sf *slimfly.SlimFly) route.Router {
+					return route.NewComputed(sf.Graph(), sf)
+				})
+			allocs := testing.AllocsPerRun(1000, func() {
+				s.step(true)
+				s.cycle++
+			})
+			if allocs != 0 {
+				t.Fatalf("computed-backend step allocates: %v allocs/op, want 0", allocs)
+			}
+		})
 	}
 	// Trace attached but sampling cold: with the sampling shift at 63 no
 	// packet id ever matches, so every hot-path call is hash + mask +

@@ -28,7 +28,7 @@ import (
 type goldenCase struct {
 	name string
 	tp   topo.Topology
-	tb   *route.Tables
+	tb   route.Router
 	algo Algo
 	want Result
 }
@@ -36,7 +36,7 @@ type goldenCase struct {
 // goldenConfig is the fixed scenario every golden case runs under.
 func goldenConfig(c goldenCase, workers int) Config {
 	return Config{
-		Topo: c.tp, Tables: c.tb, Algo: c.algo,
+		Topo: c.tp, Router: c.tb, Algo: c.algo,
 		Pattern: traffic.Uniform{N: c.tp.Endpoints()},
 		Load:    0.3, Warmup: 300, Measure: 800, Drain: 8000,
 		Seed: 12345, Workers: workers,
@@ -120,6 +120,39 @@ func TestGoldenResultsParallel(t *testing.T) {
 				got := s.Run()
 				if got != c.want {
 					t.Errorf("Workers=%d diverged from the serial golden:\n got  %#v\n want %#v", workers, got, c.want)
+				}
+			})
+		}
+	}
+}
+
+// TestGoldenResultsComputed is the backend half of the parity wall: every
+// pinned scenario re-runs on the computed (algebraic) routing backend --
+// no flat port table, PortToward answers through the Router interface --
+// at Workers 0, 1 and 4, and must reproduce the tables-backend goldens
+// byte for byte. Distances and ports are byte-equal by the route-level
+// parity tests; this pins that the engine consumes them identically (same
+// RNG draws, same allocation order) whichever backend serves them.
+func TestGoldenResultsComputed(t *testing.T) {
+	for _, workers := range []int{0, 1, 4} {
+		for _, c := range goldenCases(t) {
+			c, workers := c, workers
+			// Swap the BFS tables for the topology's algebraic oracle; every
+			// golden topology (SF q=5, FT-3 arity 6) has one.
+			o, ok := c.tp.(route.Oracle)
+			if !ok {
+				t.Fatalf("%s: golden topology %s has no algebraic oracle", c.name, c.tp.Name())
+			}
+			c.tb = route.NewComputed(c.tp.Graph(), o)
+			t.Run(fmt.Sprintf("%s/w%d", c.name, workers), func(t *testing.T) {
+				t.Parallel()
+				s, err := New(goldenConfig(c, workers))
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := s.Run()
+				if got != c.want {
+					t.Errorf("computed backend (Workers=%d) diverged from the tables golden:\n got  %#v\n want %#v", workers, got, c.want)
 				}
 			})
 		}

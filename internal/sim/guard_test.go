@@ -37,7 +37,7 @@ func TestBadTargetPortPanics(t *testing.T) {
 			static, workers := static, workers
 			t.Run(fmt.Sprintf("static=%v/w%d", static, workers), func(t *testing.T) {
 				s, err := New(Config{
-					Topo: sf, Tables: tb, Algo: brokenAlgo{static: static},
+					Topo: sf, Router: tb, Algo: brokenAlgo{static: static},
 					Pattern: traffic.Uniform{N: sf.Endpoints()},
 					Load:    0.5, Warmup: 20, Measure: 20, Drain: 20, Seed: 1,
 					Workers: workers,

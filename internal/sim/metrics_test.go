@@ -12,7 +12,7 @@ func TestRunDetailed(t *testing.T) {
 	sf := slimfly.MustNew(5)
 	tb := route.Build(sf.Graph())
 	s, err := New(Config{
-		Topo: sf, Tables: tb, Algo: MIN{}, Pattern: traffic.Uniform{N: sf.Endpoints()},
+		Topo: sf, Router: tb, Algo: MIN{}, Pattern: traffic.Uniform{N: sf.Endpoints()},
 		Load: 0.3, Warmup: 400, Measure: 1200, Drain: 6000, Seed: 3,
 	})
 	if err != nil {
@@ -53,7 +53,7 @@ func TestDetailedWorstCaseHotspot(t *testing.T) {
 	wc := traffic.WorstCaseSF(sf, tb, 7)
 	mk := func(p traffic.Pattern) DetailedResult {
 		s, err := New(Config{
-			Topo: sf, Tables: tb, Algo: MIN{}, Pattern: p,
+			Topo: sf, Router: tb, Algo: MIN{}, Pattern: p,
 			Load: 0.15, Warmup: 400, Measure: 1200, Drain: 6000, Seed: 4,
 		})
 		if err != nil {
@@ -73,7 +73,7 @@ func TestVAL3PathsShorter(t *testing.T) {
 	tb := route.Build(sf.Graph())
 	mk := func(a Algo) Result {
 		s, err := New(Config{
-			Topo: sf, Tables: tb, Algo: a, Pattern: traffic.Uniform{N: sf.Endpoints()},
+			Topo: sf, Router: tb, Algo: a, Pattern: traffic.Uniform{N: sf.Endpoints()},
 			Load: 0.1, Warmup: 300, Measure: 900, Drain: 5000, Seed: 5,
 		})
 		if err != nil {
@@ -102,7 +102,7 @@ func TestResultUndrained(t *testing.T) {
 	sf := slimfly.MustNew(5)
 	tb := route.Build(sf.Graph())
 	base := Config{
-		Topo: sf, Tables: tb, Algo: MIN{}, Pattern: traffic.Uniform{N: sf.Endpoints()},
+		Topo: sf, Router: tb, Algo: MIN{}, Pattern: traffic.Uniform{N: sf.Endpoints()},
 		Load: 0.9, Warmup: 200, Measure: 600, Seed: 11,
 	}
 	run := func(drain, workers int) Result {
@@ -184,7 +184,7 @@ func TestNeededVCsDefaults(t *testing.T) {
 	// The default config picks these up.
 	sf := slimfly.MustNew(5)
 	tb := route.Build(sf.Graph())
-	s, err := New(Config{Topo: sf, Tables: tb, Algo: VAL{}, Pattern: traffic.Uniform{N: 200}, Load: 0.1})
+	s, err := New(Config{Topo: sf, Router: tb, Algo: VAL{}, Pattern: traffic.Uniform{N: 200}, Load: 0.1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -38,12 +38,12 @@ func TestCrossWorkerDeterminism(t *testing.T) {
 		cfg  Config
 	}{
 		{"UGAL-L", Config{
-			Topo: sf, Tables: route.Build(sf.Graph()), Algo: UGALL{},
+			Topo: sf, Router: route.Build(sf.Graph()), Algo: UGALL{},
 			Pattern: traffic.Uniform{N: sf.Endpoints()},
 			Load:    0.6, Warmup: 200, Measure: 500, Drain: 6000, Seed: 99,
 		}},
 		{"ANCA", Config{
-			Topo: ft, Tables: route.Build(ft.Graph()), Algo: FTANCA{FT: ft},
+			Topo: ft, Router: route.Build(ft.Graph()), Algo: FTANCA{FT: ft},
 			Pattern: traffic.Uniform{N: ft.Endpoints()},
 			Load:    0.5, Warmup: 200, Measure: 500, Drain: 6000, Seed: 99,
 		}},
@@ -92,7 +92,7 @@ func TestParallelShardBoundaries(t *testing.T) {
 		t.Run(c.name, func(t *testing.T) {
 			t.Parallel()
 			cfg := Config{
-				Topo: c.tp, Tables: route.Build(c.tp.Graph()), Algo: MIN{},
+				Topo: c.tp, Router: route.Build(c.tp.Graph()), Algo: MIN{},
 				Pattern: traffic.Uniform{N: c.tp.Endpoints()},
 				Load:    0.4, Warmup: 100, Measure: 300, Drain: 4000, Seed: 5,
 			}
@@ -116,7 +116,7 @@ func TestParallelRunDetailed(t *testing.T) {
 	tb := route.Build(sf.Graph())
 	mk := func(workers int) DetailedResult {
 		s, err := New(Config{
-			Topo: sf, Tables: tb, Algo: MIN{}, Pattern: traffic.Uniform{N: sf.Endpoints()},
+			Topo: sf, Router: tb, Algo: MIN{}, Pattern: traffic.Uniform{N: sf.Endpoints()},
 			Load: 0.3, Warmup: 300, Measure: 900, Drain: 6000, Seed: 3, Workers: workers,
 		})
 		if err != nil {
@@ -141,7 +141,7 @@ func TestParallelRunDetailed(t *testing.T) {
 func TestNegativeWorkersRejected(t *testing.T) {
 	sf := slimfly.MustNew(5)
 	_, err := New(Config{
-		Topo: sf, Tables: route.Build(sf.Graph()), Algo: MIN{},
+		Topo: sf, Router: route.Build(sf.Graph()), Algo: MIN{},
 		Pattern: traffic.Uniform{N: sf.Endpoints()}, Load: 0.1, Workers: -1,
 	})
 	if err == nil {

@@ -45,8 +45,13 @@ var (
 
 // Config parameterises one simulation run.
 type Config struct {
-	Topo    topo.Topology
-	Tables  *route.Tables // minimal routing tables for Topo.Graph()
+	Topo topo.Topology
+	// Router is the minimal-routing backend for Topo.Graph() -- BFS tables
+	// (route.Build) or an algebraic computed backend (route.Select). When
+	// the backend exposes the flat source-major port table (route.FlatPorter),
+	// the engine serves every PortToward from one array load; otherwise it
+	// asks the backend per decision.
+	Router  route.Router
 	Algo    Algo
 	Pattern traffic.Pattern
 	Load    float64 // offered load per endpoint in flits/cycle
@@ -86,11 +91,11 @@ type Config struct {
 
 // withDefaults fills unset fields with the paper's simulation parameters.
 func (c Config) withDefaults() Config {
-	if c.NumVCs == 0 && c.Algo != nil && c.Tables != nil {
+	if c.NumVCs == 0 && c.Algo != nil && c.Router != nil {
 		// Hop-indexed VC assignment needs one VC per hop of the longest
 		// path the algorithm can produce (Section IV-D); fewer VCs would
 		// share the last one and re-introduce cyclic dependencies.
-		c.NumVCs = c.Algo.NeededVCs(c.Tables.MaxDistance())
+		c.NumVCs = c.Algo.NeededVCs(c.Router.MaxDistance())
 	}
 	if c.NumVCs == 0 {
 		c.NumVCs = 3
@@ -205,9 +210,12 @@ type Sim struct {
 	// par is the sharded parallel engine state; nil when cfg.Workers == 0.
 	par *parEngine
 
-	// Port-indexed routing state, cached flat from cfg.Tables: the port at
-	// router u toward destination router d is nextPort[u*nRouters+d]
-	// (source-major, so one router's decisions share cache lines).
+	// Routing backend plus its hot-path cache: when the backend exposes
+	// the flat source-major port table (route.FlatPorter), nextPort holds
+	// it and the port at router u toward destination router d is
+	// nextPort[u*nRouters+d] -- one array load, zero indirection. For
+	// computed backends nextPort is nil and PortToward asks rtr instead.
+	rtr      route.Router
 	nextPort []int32
 	nRouters int
 
@@ -265,8 +273,8 @@ type Sim struct {
 // New builds a simulator from cfg, validating the configuration.
 func New(cfg Config) (*Sim, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Topo == nil || cfg.Tables == nil || cfg.Algo == nil || cfg.Pattern == nil {
-		return nil, fmt.Errorf("sim: Topo, Tables, Algo and Pattern are required")
+	if cfg.Topo == nil || cfg.Router == nil || cfg.Algo == nil || cfg.Pattern == nil {
+		return nil, fmt.Errorf("sim: Topo, Router, Algo and Pattern are required")
 	}
 	if cfg.Load < 0 || cfg.Load > 1 {
 		return nil, fmt.Errorf("sim: load %v out of [0,1]", cfg.Load)
@@ -285,9 +293,8 @@ func New(cfg Config) (*Sim, error) {
 	}
 	t := cfg.Topo
 	g := t.Graph()
-	nextPort, n := cfg.Tables.NextPortFlat()
-	if n != g.N() {
-		return nil, fmt.Errorf("sim: tables built for %d routers, topology has %d", n, g.N())
+	if rn := cfg.Router.Graph().N(); rn != g.N() {
+		return nil, fmt.Errorf("sim: routing backend built for %d routers, topology has %d", rn, g.N())
 	}
 	s := &Sim{
 		cfg:      cfg,
@@ -296,10 +303,16 @@ func New(cfg Config) (*Sim, error) {
 		epRouter: make([]int32, t.Endpoints()),
 		epIdx:    make([]int32, t.Endpoints()),
 		bufPerVC: cfg.BufPerPort / cfg.NumVCs,
-		nextPort: nextPort,
-		nRouters: n,
+		rtr:      cfg.Router,
+		nRouters: g.N(),
 		active:   make([]int32, 0, g.N()),
 		inActive: make([]bool, g.N()),
+	}
+	// Flat-table fast path: backends that materialize the source-major
+	// port table hand it over once and the hot loop never sees an
+	// interface call.
+	if fp, ok := cfg.Router.(route.FlatPorter); ok {
+		s.nextPort, _ = fp.NextPortFlat()
 	}
 	if sp, ok := cfg.Algo.(interface{ SpreadVCs() bool }); ok && sp.SpreadVCs() {
 		s.spreadVCs = true
@@ -487,11 +500,15 @@ func (s *Sim) MetricsSummary() *metrics.Summary {
 }
 
 // PortToward returns router r's output-port index toward destination
-// router d: one load from the flat precomputed port table. For a
-// neighbour d it is the port of the direct link. Returns -1 when d == r
-// or d is unreachable.
+// router d: one load from the flat precomputed port table when the
+// backend materializes it, else an algebraic lookup on the backend. For
+// a neighbour d it is the port of the direct link. Returns -1 when
+// d == r or d is unreachable.
 func (s *Sim) PortToward(r, d int32) int32 {
-	return s.nextPort[int(r)*s.nRouters+int(d)]
+	if s.nextPort != nil {
+		return s.nextPort[int(r)*s.nRouters+int(d)]
+	}
+	return s.rtr.NextPort(int(r), int(d))
 }
 
 // PortNeighbor returns the router behind r's output port.
@@ -510,8 +527,8 @@ func (s *Sim) QueueEstimate(r int32, port int) int {
 	return occ
 }
 
-// Tables exposes the routing tables to routing algorithms.
-func (s *Sim) Tables() *route.Tables { return s.cfg.Tables }
+// Router exposes the routing backend to routing algorithms.
+func (s *Sim) Router() route.Router { return s.cfg.Router }
 
 // RNG exposes the injection-phase RNG to routing algorithms: OnInject runs
 // serially in endpoint order, so its draws come from this single stream.

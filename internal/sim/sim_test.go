@@ -14,7 +14,7 @@ import (
 func run(t *testing.T, tp topo.Topology, tb *route.Tables, algo Algo, pat traffic.Pattern, load float64) Result {
 	t.Helper()
 	s, err := New(Config{
-		Topo: tp, Tables: tb, Algo: algo, Pattern: pat, Load: load,
+		Topo: tp, Router: tb, Algo: algo, Pattern: pat, Load: load,
 		Warmup: 500, Measure: 1500, Drain: 8000, Seed: 42,
 	})
 	if err != nil {
@@ -29,7 +29,7 @@ func TestConfigValidation(t *testing.T) {
 	}
 	sf := slimfly.MustNew(5)
 	tb := route.Build(sf.Graph())
-	if _, err := New(Config{Topo: sf, Tables: tb, Algo: MIN{}, Pattern: traffic.Uniform{N: sf.Endpoints()}, Load: 1.5}); err == nil {
+	if _, err := New(Config{Topo: sf, Router: tb, Algo: MIN{}, Pattern: traffic.Uniform{N: sf.Endpoints()}, Load: 1.5}); err == nil {
 		t.Error("load > 1 accepted")
 	}
 }
@@ -155,7 +155,7 @@ func TestDeterminism(t *testing.T) {
 	tb := route.Build(sf.Graph())
 	mk := func() Result {
 		s, err := New(Config{
-			Topo: sf, Tables: tb, Algo: UGALL{}, Pattern: traffic.Uniform{N: sf.Endpoints()},
+			Topo: sf, Router: tb, Algo: UGALL{}, Pattern: traffic.Uniform{N: sf.Endpoints()},
 			Load: 0.3, Warmup: 300, Measure: 700, Seed: 9,
 		})
 		if err != nil {
@@ -200,7 +200,7 @@ func TestBufferSizeTradeoff(t *testing.T) {
 	wc := traffic.WorstCaseSF(sf, tb, 7)
 	mk := func(buf int, load float64) Result {
 		s, err := New(Config{
-			Topo: sf, Tables: tb, Algo: UGALL{}, Pattern: wc, Load: load,
+			Topo: sf, Router: tb, Algo: UGALL{}, Pattern: wc, Load: load,
 			BufPerPort: buf, Warmup: 500, Measure: 1500, Drain: 6000, Seed: 4,
 		})
 		if err != nil {
@@ -228,7 +228,7 @@ func BenchmarkSimCycleSFQ5(b *testing.B) {
 	sf := slimfly.MustNew(5)
 	tb := route.Build(sf.Graph())
 	s, err := New(Config{
-		Topo: sf, Tables: tb, Algo: MIN{}, Pattern: traffic.Uniform{N: sf.Endpoints()},
+		Topo: sf, Router: tb, Algo: MIN{}, Pattern: traffic.Uniform{N: sf.Endpoints()},
 		Load: 0.5, Warmup: 1, Measure: 1, Seed: 1,
 	})
 	if err != nil {

@@ -17,7 +17,7 @@ func traceConfig(algo Algo, workers int) Config {
 	sf := slimfly.MustNew(5)
 	rt := route.Build(sf.Graph())
 	return Config{
-		Topo: sf, Tables: rt, Algo: algo,
+		Topo: sf, Router: rt, Algo: algo,
 		Pattern: traffic.Uniform{N: sf.Endpoints()},
 		Load:    0.3, Warmup: 50, Measure: 200, Drain: 8000, Seed: 7,
 		Workers: workers,

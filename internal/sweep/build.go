@@ -17,5 +17,7 @@ import "slimfly/internal/scenario"
 // experiment suite use.
 type Env = scenario.Env
 
-// NewEnv returns an empty resolver environment.
-func NewEnv() *Env { return scenario.NewEnv() }
+// NewEnv returns an empty resolver environment. Options (e.g.
+// scenario.WithRouteBackend / scenario.WithRouteBudget) select the
+// routing-backend policy the Env resolves topologies under.
+func NewEnv(opts ...scenario.EnvOption) *Env { return scenario.NewEnv(opts...) }

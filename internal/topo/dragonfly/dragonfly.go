@@ -114,6 +114,6 @@ func ForEndpoints(n, maxP int) (p int, ok bool) {
 // WorstCase implements the scenario WorstCaser capability: the Kim et al.
 // adversarial pattern overloading the single global channel between
 // consecutive groups.
-func (df *Dragonfly) WorstCase(_ *route.Tables, _ uint64) traffic.Pattern {
+func (df *Dragonfly) WorstCase(_ route.Router, _ uint64) traffic.Pattern {
 	return traffic.WorstCaseDF(df.Group, df, df.Gn)
 }

@@ -111,6 +111,54 @@ func ForEndpoints(n int) int {
 
 // WorstCase implements the scenario WorstCaser capability: the cross-pod
 // permutation forcing every packet through the core level.
-func (ft *FatTree) WorstCase(_ *route.Tables, _ uint64) traffic.Pattern {
+func (ft *FatTree) WorstCase(_ route.Router, _ uint64) traffic.Pattern {
 	return traffic.WorstCaseFT(ft.Arity, ft)
 }
+
+// RouterDistance implements route.Oracle by level arithmetic: paths go up
+// to the lowest common level and back down, so the distance depends only
+// on the two levels and whether the switches share a pod (edge/agg) or a
+// column (agg(a,j)/core(i,j) connect iff same j).
+func (ft *FatTree) RouterDistance(u, d int) int {
+	if u == d {
+		return 0
+	}
+	p := ft.Arity
+	lu, ld := ft.Level(u), ft.Level(d)
+	if lu > ld {
+		u, d = d, u
+		lu, ld = ld, lu
+	}
+	switch {
+	case lu == 0 && ld == 0: // edge-edge: via agg in pod, else via core
+		if ft.Pod(u) == ft.Pod(d) {
+			return 2
+		}
+		return 4
+	case lu == 0 && ld == 1: // edge-agg: direct in pod, else up-over-down
+		if ft.Pod(u) == ft.Pod(d) {
+			return 1
+		}
+		return 3
+	case lu == 0: // edge-core: every core is 2 hops from every edge
+		return 2
+	case lu == 1 && ld == 1: // agg-agg: same pod via edge, same column via core
+		if ft.Pod(u) == ft.Pod(d) || u%p == d%p {
+			return 2
+		}
+		return 4
+	case lu == 1: // agg-core: direct in column, else via an edge+agg detour
+		if u%p == d%p {
+			return 1
+		}
+		return 3
+	default: // core-core: same column via agg, else down-over-up
+		if u%p == d%p {
+			return 2
+		}
+		return 4
+	}
+}
+
+// RouterDiameter implements route.Oracle: edge to edge across pods.
+func (ft *FatTree) RouterDiameter() int { return 4 }

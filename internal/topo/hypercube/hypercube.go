@@ -4,6 +4,7 @@ package hypercube
 
 import (
 	"fmt"
+	"math/bits"
 
 	"slimfly/internal/graph"
 	"slimfly/internal/topo"
@@ -53,6 +54,15 @@ func MustNew(n int) *Hypercube {
 	}
 	return hc
 }
+
+// RouterDistance implements route.Oracle: router ids are coordinate bit
+// vectors, so the hop distance is the Hamming distance u XOR d.
+func (hc *Hypercube) RouterDistance(u, d int) int {
+	return bits.OnesCount32(uint32(u ^ d))
+}
+
+// RouterDiameter implements route.Oracle: the all-bits-flipped pair.
+func (hc *Hypercube) RouterDiameter() int { return hc.Dim }
 
 // ForEndpoints returns the smallest dimension with at least n endpoints.
 func ForEndpoints(n int) int {

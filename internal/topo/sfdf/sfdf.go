@@ -103,6 +103,6 @@ func (s *SFDF) Group(r int) int { return r / s.GroupSize }
 // WorstCase implements the scenario WorstCaser capability: like the
 // classic Dragonfly, consecutive-group traffic stresses the inter-group
 // channels, though SF groups expose more of them.
-func (s *SFDF) WorstCase(_ *route.Tables, _ uint64) traffic.Pattern {
+func (s *SFDF) WorstCase(_ route.Router, _ uint64) traffic.Pattern {
 	return traffic.WorstCaseDF(s.Group, s, s.Groups)
 }

@@ -38,6 +38,12 @@ type SlimFly struct {
 	F     *gf.Field
 	X     []int // generator set for subgraph 0 (Eq. 1)
 	Xp    []int // generator set X' for subgraph 1 (Eq. 2)
+
+	// inX/inXp are q-sized membership tables for X and X', the only state
+	// the algebraic routing oracle (RouterDistance) needs: adjacency within
+	// a subgraph is generator-set membership of the label difference, so
+	// distances never touch the O(n^2) tables.
+	inX, inXp []bool
 }
 
 // Params reports the analytic parameters for a Slim Fly with the given q:
@@ -98,6 +104,13 @@ func NewWithConcentration(q, p int) (*SlimFly, error) {
 
 	sf := &SlimFly{
 		Q: q, Delta: delta, W: w, F: f, X: x, Xp: xp,
+		inX: make([]bool, q), inXp: make([]bool, q),
+	}
+	for _, v := range x {
+		sf.inX[v] = true
+	}
+	for _, v := range xp {
+		sf.inXp[v] = true
 	}
 	sf.TopoName = "SF"
 	sf.P = p
@@ -293,8 +306,47 @@ func ForRadix(k int) (q int, ok bool) {
 
 // WorstCase implements the scenario WorstCaser capability: the diameter-2
 // adversarial permutation of Section V-C, maximising load on single
-// inter-router links. tb must hold the minimal routing tables of Graph();
-// seed determinises the pairing of leftover endpoints.
-func (s *SlimFly) WorstCase(tb *route.Tables, seed uint64) traffic.Pattern {
-	return traffic.WorstCaseSF(s, tb, seed)
+// inter-router links. rt must answer for Graph(); seed determinises the
+// pairing of leftover endpoints.
+func (s *SlimFly) WorstCase(rt route.Router, seed uint64) traffic.Pattern {
+	return traffic.WorstCaseSF(s, rt, seed)
 }
+
+// RouterDistance implements route.Oracle with the MMS closed form: the
+// graph has diameter 2, so the answer is 0 (same router), 1 (adjacent by
+// Eqs. 1-3), else 2. Adjacency is decided from the labels alone --
+// generator-set membership of the intra-subgraph difference, or the line
+// incidence y = m*x + c across subgraphs.
+func (s *SlimFly) RouterDistance(u, d int) int {
+	if u == d {
+		return 0
+	}
+	su, au, bu := s.RouterLabel(u)
+	sd, ad, bd := s.RouterLabel(d)
+	if su == sd {
+		if au != ad {
+			return 2 // different rows/columns of the same subgraph never connect directly
+		}
+		diff := s.F.Sub(bu, bd)
+		if su == 0 {
+			if s.inX[diff] {
+				return 1 // Eq. 1
+			}
+		} else if s.inXp[diff] {
+			return 1 // Eq. 2
+		}
+		return 2
+	}
+	// Cross-subgraph: orient to (0,x,y) vs (1,m,c) and test Eq. 3.
+	x, y, m, c := au, bu, ad, bd
+	if su == 1 {
+		x, y, m, c = ad, bd, au, bu
+	}
+	if y == s.F.Add(s.F.Mul(m, x), c) {
+		return 1
+	}
+	return 2
+}
+
+// RouterDiameter implements route.Oracle: MMS graphs have diameter 2.
+func (s *SlimFly) RouterDiameter() int { return 2 }

@@ -86,6 +86,32 @@ func MustNew(dims []int, p int) *Torus {
 	return t
 }
 
+// RouterDistance implements route.Oracle: per-dimension shortest wrap,
+// summed. Coordinates are decoded last-dimension-first, mirroring the id
+// encoding used by New.
+func (t *Torus) RouterDistance(u, d int) int {
+	dist := 0
+	for i := len(t.Dims) - 1; i >= 0; i-- {
+		di := t.Dims[i]
+		cu, cd := u%di, d%di
+		u /= di
+		d /= di
+		delta := cu - cd
+		if delta < 0 {
+			delta = -delta
+		}
+		if wrap := di - delta; wrap < delta {
+			delta = wrap
+		}
+		dist += delta
+	}
+	return dist
+}
+
+// RouterDiameter implements route.Oracle: every dimension at its
+// half-ring worst case.
+func (t *Torus) RouterDiameter() int { return t.Diam }
+
 // Cube constructs an n-dimensional torus with all sides equal to side.
 func Cube(n, side, p int) (*Torus, error) {
 	dims := make([]int, n)

@@ -122,12 +122,12 @@ func (sh Shift) Dest(src int, rng *stats.RNG) int {
 }
 
 // WorstCaseSF builds the adversarial permutation of Section V-C for a Slim
-// Fly (or any diameter-2 network routed by tb): for links (Rx, Ry) it pairs
+// Fly (or any diameter-2 network routed by rt): for links (Rx, Ry) it pairs
 // endpoints of routers whose minimal route to Rx passes through Ry with
 // endpoints at Rx (and symmetrically via Rx toward Ry), maximising the load
 // on the link. Remaining endpoints are paired randomly so the permutation
 // is total.
-func WorstCaseSF(t topo.Topology, tb *route.Tables, seed uint64) *Permutation {
+func WorstCaseSF(t topo.Topology, rt route.Router, seed uint64) *Permutation {
 	n := t.Endpoints()
 	dests := make([]int32, n)
 	for i := range dests {
@@ -153,7 +153,7 @@ func WorstCaseSF(t topo.Topology, tb *route.Tables, seed uint64) *Permutation {
 			x, y := int(dir[0]), int(dir[1])
 			xEps := t.RouterEndpoints(x)
 			for r := 0; r < g.N(); r++ {
-				if tb.Distance(r, x) != 2 || tb.NextHop(r, x) != int32(y) {
+				if rt.Distance(r, x) != 2 || rt.NextHop(r, x) != int32(y) {
 					continue
 				}
 				for _, es := range t.RouterEndpoints(r) {
