@@ -42,6 +42,8 @@ func main() {
 		specPath   = flag.String("spec", "", "sweep spec file (JSON object or array; '-' for stdin)")
 		outDir     = flag.String("out", "sweep-out", "artifact directory")
 		cacheDir   = flag.String("cache", "", "result cache directory (default <out>/cache)")
+		storeURL   = flag.String("store", "", "remote result store: base URL of a running sfsweepd (e.g. http://host:8080); overrides -cache, shares results across machines")
+		token      = flag.String("token", "", "bearer token for -store writes (must match the server's -token)")
 		workers    = flag.Int("workers", 0, "core budget for the pool (default: one per core)")
 		simW       = flag.Int("sim-workers", 0, "intra-simulation workers per job (0 = auto: split the core budget between concurrent jobs and shards; results are identical either way)")
 		metricsSel = flag.String("metrics", "", "streaming collectors for every job, comma-separated (overrides the specs' sim.metrics; \"all\" selects every collector)")
@@ -106,15 +108,26 @@ func main() {
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		fail(err)
 	}
-	var cache *sweep.Cache
-	if !*noCache {
+	// store stays a nil interface unless a live backend is assigned (a nil
+	// *Cache in a non-nil interface would defeat the pool's nil checks).
+	var store sweep.Store
+	var storeDesc string
+	switch {
+	case *storeURL != "":
+		rs := sweep.OpenRemote(*storeURL, *token)
+		store = rs
+		storeDesc = "store " + rs.URL()
+	case !*noCache:
 		dir := *cacheDir
 		if dir == "" {
 			dir = filepath.Join(*outDir, "cache")
 		}
-		if cache, err = sweep.OpenCache(dir); err != nil {
+		cache, err := sweep.OpenCache(dir)
+		if err != nil {
 			fail(err)
 		}
+		store = cache
+		storeDesc = "cache " + cache.Dir()
 	}
 
 	nw := *workers
@@ -133,10 +146,10 @@ func main() {
 	simWorkers := *simW
 	if simWorkers == 0 {
 		pending := len(jobs)
-		if cache != nil {
+		if store != nil {
 			pending = 0
 			for _, j := range jobs {
-				if !cache.Has(j.Key()) {
+				if !store.Has(j.Key()) {
 					pending++
 				}
 			}
@@ -149,8 +162,8 @@ func main() {
 	if simWorkers > 1 {
 		fmt.Fprintf(os.Stderr, " x %d shards", simWorkers)
 	}
-	if cache != nil {
-		fmt.Fprintf(os.Stderr, ", cache %s", cache.Dir())
+	if storeDesc != "" {
+		fmt.Fprintf(os.Stderr, ", %s", storeDesc)
 	}
 	fmt.Fprintln(os.Stderr)
 
@@ -185,7 +198,7 @@ func main() {
 	results, stats, runErr := sweep.RunJobs(ctx, jobs, sweep.NewEnv(scenario.WithRouteBackend(policy)), sweep.Options{
 		Workers:    nw,
 		SimWorkers: simWorkers,
-		Cache:      cache,
+		Store:      store,
 		Progress:   prog,
 		OnDone: func(_ int, r sweep.JobResult) {
 			if r.Err != "" {
@@ -204,6 +217,12 @@ func main() {
 	snap := prog.Snapshot()
 	snap.ETA = 0 // final summary: nothing left to estimate
 	fmt.Fprintf(os.Stderr, "sfsweep: %s in %s -> %s\n", snap, snap.Elapsed.Round(time.Millisecond), *outDir)
+	if stats.PutErrors > 0 {
+		// Results are intact (they are in the artifacts above); what was
+		// lost is their reuse -- the next run will recompute these points.
+		fmt.Fprintf(os.Stderr, "sfsweep: WARNING: %d result-store write(s) failed; first: %s\n",
+			stats.PutErrors, stats.FirstStoreErr)
+	}
 	if runErr != nil {
 		fmt.Fprintf(os.Stderr, "sfsweep: interrupted (%d jobs not run); re-run to resume\n", stats.Skipped)
 		os.Exit(130)

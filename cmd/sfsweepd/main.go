@@ -18,6 +18,12 @@
 // cached, restarting the server and resubmitting the same specs resumes
 // exactly where the drain stopped -- as does running `sfsweep` against
 // the same cache directory.
+//
+// With -token the mutating endpoints (result uploads and the lease
+// surface) require that bearer token, and `sfworker -server <url> -token
+// <t>` processes on other machines claim jobs from this server's queue,
+// execute them locally and upload the results. `-workers -1` turns the
+// server into a pure scheduler: every job runs on remote workers.
 package main
 
 import (
@@ -39,26 +45,31 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":8080", "listen address")
 		cacheDir = flag.String("cache", "sweepd-cache", "result cache directory (shared with sfsweep; empty disables caching and resume)")
-		workers  = flag.Int("workers", 0, "core budget for the pool (default: one per core)")
+		workers  = flag.Int("workers", 0, "local core budget for the pool (0: one per core; negative: no local execution, jobs run on remote sfworkers only)")
 		simW     = flag.Int("sim-workers", 0, "intra-simulation workers per job (0 = auto-split against the live queue depth; results are identical either way)")
 		drainT   = flag.Duration("drain-timeout", 10*time.Minute, "on SIGTERM, give in-flight jobs this long to finish and commit (0 waits forever)")
+		token    = flag.String("token", "", "bearer token required on mutating endpoints (empty: open server)")
+		leaseSw  = flag.Duration("lease-sweep", time.Second, "how often expired worker leases are requeued")
 		debug    = flag.Bool("debug", true, "mount /debug/vars and /debug/pprof on the service address")
 	)
 	flag.Parse()
 
 	var cache *sweep.Cache
+	cfg := sweepd.Config{
+		Workers:    *workers,
+		SimWorkers: *simW,
+		Token:      *token,
+		LeaseSweep: *leaseSw,
+		Debug:      *debug,
+	}
 	if *cacheDir != "" {
 		var err error
 		if cache, err = sweep.OpenCache(*cacheDir); err != nil {
 			fail(err)
 		}
+		cfg.Store = cache // assigned only when non-nil: Store is an interface
 	}
-	srv := sweepd.New(sweepd.Config{
-		Cache:      cache,
-		Workers:    *workers,
-		SimWorkers: *simW,
-		Debug:      *debug,
-	})
+	srv := sweepd.New(cfg)
 	srv.Start()
 
 	hs := &http.Server{

@@ -37,7 +37,7 @@ func main() {
 		panic(err)
 	}
 
-	_, st, err := sweep.Run(context.Background(), spec, sweep.Options{Cache: cache})
+	_, st, err := sweep.Run(context.Background(), spec, sweep.Options{Store: cache})
 	if err != nil {
 		panic(err)
 	}
@@ -45,7 +45,7 @@ func main() {
 
 	// Same spec, same cache: every point is a content-addressed hit and no
 	// simulator cycle runs.
-	results, st, err := sweep.Run(context.Background(), spec, sweep.Options{Cache: cache})
+	results, st, err := sweep.Run(context.Background(), spec, sweep.Options{Store: cache})
 	if err != nil {
 		panic(err)
 	}

@@ -18,13 +18,14 @@ import (
 // when a CLI enables -debug-addr. A Progress handed in via
 // Options.Progress is a per-sweep consumer of the same signals.
 var (
-	obsQueueDepth  = obs.NewGauge("sweep.queue_depth")   // expanded but unclaimed jobs
-	obsInFlight    = obs.NewGauge("sweep.jobs_inflight") // claimed, still executing
-	obsJobsDone    = obs.NewCounter("sweep.jobs_done")
-	obsJobsFailed  = obs.NewCounter("sweep.jobs_failed")
-	obsCacheHits   = obs.NewCounter("sweep.cache_hits")
-	obsCacheMisses = obs.NewCounter("sweep.cache_misses")
-	obsJobSpan     = obs.NewTimer("sweep.job") // executed (non-cached) jobs only
+	obsQueueDepth     = obs.NewGauge("sweep.queue_depth")   // expanded but unclaimed jobs
+	obsInFlight       = obs.NewGauge("sweep.jobs_inflight") // claimed, still executing
+	obsJobsDone       = obs.NewCounter("sweep.jobs_done")
+	obsJobsFailed     = obs.NewCounter("sweep.jobs_failed")
+	obsCacheHits      = obs.NewCounter("sweep.cache_hits")
+	obsCacheMisses    = obs.NewCounter("sweep.cache_misses")
+	obsCachePutErrors = obs.NewCounter("sweep.cache_put_errors") // store writes that failed (results kept)
+	obsJobSpan        = obs.NewTimer("sweep.job")                // executed (non-cached) jobs only
 )
 
 // JobResult is the outcome of one sweep point. Metrics carries the
@@ -37,7 +38,12 @@ type JobResult struct {
 	Metrics *metrics.Summary `json:"metrics,omitempty"`
 	Cached  bool             `json:"cached"`          // served from the result cache
 	Err     string           `json:"error,omitempty"` // non-empty: job failed
-	Elapsed float64          `json:"elapsed_seconds"` // execution time; 0 for cache hits
+	// StoreErr records a failed result-store write (read-only or full
+	// cache volume, unreachable remote store). The result itself is good
+	// -- only its reuse by future runs is lost -- so this is a warning,
+	// not a failure; Stats surfaces the first one per run.
+	StoreErr string  `json:"store_error,omitempty"`
+	Elapsed  float64 `json:"elapsed_seconds"` // execution time; 0 for cache hits
 }
 
 // Stats summarises a pool run.
@@ -47,6 +53,13 @@ type Stats struct {
 	Cached   int // served from the cache
 	Failed   int // build or configuration errors
 	Skipped  int // not reached before cancellation
+	// PutErrors counts store writes that failed; every one degraded a
+	// future run to recomputation. FirstStoreErr is the first such error
+	// text, for the summary line -- before these existed, a read-only
+	// cache volume silently turned every worker into a permanent
+	// recompute loop with zero signal.
+	PutErrors     int    `json:",omitempty"`
+	FirstStoreErr string `json:",omitempty"`
 }
 
 // Options configures a pool run.
@@ -60,9 +73,12 @@ type Options struct {
 	// jobs on the serial engine. See SplitParallelism for the heuristic
 	// that balances this against the pool width.
 	SimWorkers int
-	// Cache, when non-nil, short-circuits jobs whose key is already
-	// stored and records fresh results for future runs.
-	Cache *Cache
+	// Store, when non-nil, short-circuits jobs whose key is already
+	// stored and records fresh results for future runs. The local Cache
+	// is the usual backend; a RemoteStore shares results across
+	// machines. (Interface nil-ness: assign a typed pointer only when it
+	// is non-nil, or a nil *Cache masquerades as a live store.)
+	Store Store
 	// OnDone, when non-nil, is called once per finished job, from worker
 	// goroutines (it must be safe for concurrent use).
 	OnDone func(index int, r JobResult)
@@ -195,7 +211,7 @@ func RunTasks(ctx context.Context, tasks []Task, opts Options) ([]JobResult, Sta
 					if opts.Progress != nil {
 						opts.Progress.JobStarted()
 					}
-					results[idx] = Execute(tasks[idx], opts.Cache, opts.SimWorkers)
+					results[idx] = Execute(tasks[idx], opts.Store, opts.SimWorkers)
 					reached[idx] = true
 					if opts.Progress != nil {
 						opts.Progress.Observe(results[idx])
@@ -224,21 +240,27 @@ func RunTasks(ctx context.Context, tasks []Task, opts Options) ([]JobResult, Sta
 		default:
 			st.Executed++
 		}
+		if results[i].StoreErr != "" {
+			st.PutErrors++
+			if st.FirstStoreErr == "" {
+				st.FirstStoreErr = results[i].StoreErr
+			}
+		}
 	}
 	return results, st, ctx.Err()
 }
 
-// Execute runs one task synchronously -- cache lookup, lazy build,
-// simulate, cache store -- exactly as a pool worker would, updating the
+// Execute runs one task synchronously -- store lookup, lazy build,
+// simulate, store write -- exactly as a pool worker would, updating the
 // same process telemetry (in-flight/done/failed, cache hits, job span).
 // It is the claim hook for external schedulers: the sfsweepd fair-share
-// service decides claim order its own way (round-robin across queued
-// sweeps) but executes each claimed job through this one path, so a
-// result is bit-identical whether it came from RunTasks, the service, or
-// a resumed run of either.
-func Execute(t Task, cache *Cache, simWorkers int) JobResult {
+// service and the sfworker lease loop decide claim order their own way
+// but execute each claimed job through this one path, so a result is
+// bit-identical whether it came from RunTasks, the service, a remote
+// worker, or a resumed run of any of them.
+func Execute(t Task, store Store, simWorkers int) JobResult {
 	obsInFlight.Add(1)
-	jr := runOne(t, cache, simWorkers)
+	jr := runOne(t, store, simWorkers)
 	obsInFlight.Add(-1)
 	obsJobsDone.Inc()
 	if jr.Err != "" {
@@ -247,21 +269,21 @@ func Execute(t Task, cache *Cache, simWorkers int) JobResult {
 	return jr
 }
 
-// runOne executes a single task: cache lookup, lazy build, simulate,
-// cache store. Panics from construction or simulation are converted into
+// runOne executes a single task: store lookup, lazy build, simulate,
+// store write. Panics from construction or simulation are converted into
 // failed results so one bad point cannot take down a long sweep.
 // simWorkers applies intra-simulation sharding to configs that did not
 // request their own worker count; it affects wall-clock only, never the
 // result or the cache entry.
-func runOne(t Task, cache *Cache, simWorkers int) (jr JobResult) {
+func runOne(t Task, store Store, simWorkers int) (jr JobResult) {
 	jr = JobResult{Job: t.Job, Key: t.Key}
 	defer func() {
 		if p := recover(); p != nil {
 			jr.Err = fmt.Sprintf("panic: %v", p)
 		}
 	}()
-	if cache != nil && t.Key != "" {
-		if e, ok := cache.Get(t.Key); ok {
+	if store != nil && t.Key != "" {
+		if e, ok := store.Get(t.Key); ok {
 			obsCacheHits.Inc()
 			jr.Result = e.Result
 			jr.Metrics = e.Metrics
@@ -288,12 +310,17 @@ func runOne(t Task, cache *Cache, simWorkers int) (jr JobResult) {
 	jr.Result = res
 	jr.Metrics = sum
 	jr.Elapsed = time.Since(start).Seconds()
-	if cache != nil && t.Key != "" {
-		// A failed store only degrades future runs to recomputation; the
-		// result itself is still good, so the error is dropped.
-		_ = cache.Put(t.Key, Entry{
+	if store != nil && t.Key != "" {
+		// A failed store write only degrades future runs to recomputation
+		// -- the result itself is still good -- but it must not be
+		// silent: a read-only or full cache volume would otherwise turn
+		// every future run into permanent recomputation with no signal.
+		if err := store.Put(t.Key, Entry{
 			Job: t.Job, Result: res, Metrics: sum, Elapsed: jr.Elapsed, Created: time.Now().UTC(),
-		})
+		}); err != nil {
+			obsCachePutErrors.Inc()
+			jr.StoreErr = err.Error()
+		}
 	}
 	return jr
 }

@@ -43,6 +43,12 @@ func NewProgress(total, workers int) *Progress {
 // schedulers (the sfsweepd service) call it at their own claim points.
 func (p *Progress) JobStarted() { p.started.Inc() }
 
+// JobAbandoned undoes one JobStarted whose claim evaporated without a
+// finished job: a remote worker's lease expired and its job went back to
+// the queue. Without it, every requeue would leak one phantom in-flight
+// job into snapshots for the rest of the sweep.
+func (p *Progress) JobAbandoned() { p.started.Add(-1) }
+
 // Observe records one finished job. Safe for concurrent use.
 func (p *Progress) Observe(r JobResult) {
 	switch {

@@ -1,0 +1,151 @@
+package sweep
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"iter"
+	"time"
+)
+
+// Store is the result-store surface the sweep engine runs against: the
+// content-addressed read/write side (Get/Put/Has/Keys, keyed by scenario
+// Spec.Key) plus a cooperative leasing surface (Lease/Renew/Release) so
+// several processes -- or several machines -- can divide the points of
+// one sweep without executing any of them twice. Cache is the local
+// directory-backed default; RemoteStore speaks the same contract to a
+// running sfsweepd, so a worker fleet shares one result set. Results are
+// location-invariant by construction (worker counts and routing backends
+// are excluded from Spec.Key), which is what makes the two backends
+// interchangeable: an entry computed anywhere is byte-identical to one
+// computed here.
+//
+// Every implementation must validate key shape at this boundary: a key
+// that is not 64 hex digits (ValidKey) is a miss for Get/Has, a
+// *KeyError for Put/Lease, and never reaches the filesystem or the
+// network path component.
+type Store interface {
+	// Get looks up key: (entry, true) on a hit, (zero, false) on a miss.
+	// Corrupt or unreachable entries are misses, never errors -- a miss
+	// only costs one recomputation.
+	Get(key string) (Entry, bool)
+	// Put stores entry under key. Failures are real errors (a full disk,
+	// an unreachable server): the caller decides whether to surface or
+	// tolerate them.
+	Put(key string, e Entry) error
+	// Has is a cheap existence probe (no decode, no validation).
+	Has(key string) bool
+	// Keys iterates every stored key. A walk/transport error is yielded
+	// once with an empty key and ends the iteration.
+	Keys() iter.Seq2[string, error]
+	// Lease acquires an exclusive, time-limited claim on key for owner.
+	// ErrLeaseHeld if another live lease exists. A lease is advisory:
+	// it coordinates who computes, never who may read or write.
+	Lease(key, owner string, ttl time.Duration) (Lease, error)
+	// Renew extends l by ttl from now. ErrLeaseLost if l expired and was
+	// taken over (or released) in the meantime.
+	Renew(l Lease, ttl time.Duration) (Lease, error)
+	// Release drops l. Releasing an already-gone lease is a no-op;
+	// releasing one that now belongs to someone else is ErrLeaseLost.
+	Release(l Lease) error
+}
+
+// Lease is one live claim on a key: the ID is the proof of ownership
+// (Renew and Release require it to match), Expires is the moment the
+// claim lapses unless renewed. A holder that stops heartbeating --
+// a SIGKILLed worker -- simply lets Expires pass, and the key is
+// claimable again: no recovery protocol, just a clock.
+type Lease struct {
+	ID      string    `json:"id"`
+	Key     string    `json:"key"`
+	Owner   string    `json:"owner"`
+	Expires time.Time `json:"expires"`
+}
+
+// Lease coordination errors. Backends translate their native failures
+// (file contents, HTTP status codes) to these two so callers can
+// errors.Is across local and remote stores alike.
+var (
+	// ErrLeaseHeld: the key is claimed by a live lease.
+	ErrLeaseHeld = errors.New("sweep: lease already held")
+	// ErrLeaseLost: the presented lease no longer exists or belongs to
+	// another holder (it expired and was re-acquired, or was released).
+	ErrLeaseLost = errors.New("sweep: lease lost")
+	// ErrDraining: the remote service is shutting down and grants no new
+	// claims; finished points are cached, so retry after its restart.
+	ErrDraining = errors.New("sweep: server is draining")
+)
+
+// KeyError is the structured Put/Lease failure for a malformed key.
+// Short, long or non-hex keys used to panic the cache's path fan-out
+// (key[:2]); now they fail shaped like this at the Store boundary.
+type KeyError struct {
+	Key string `json:"key"`
+}
+
+func (e *KeyError) Error() string {
+	return fmt.Sprintf("sweep: %q is not a result key (want 64 hex digits)", e.Key)
+}
+
+// ValidKey reports whether key has the exact shape of a scenario
+// Spec.Key: 64 lowercase hex digits (a SHA-256). Everything the Store
+// surface does with a key -- path fan-out, index listing, URL routing --
+// assumes this shape, so every entry point checks it first.
+func ValidKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// newLeaseID returns a fresh unguessable lease id. The id doubles as the
+// ownership capability, so it must not be predictable.
+func newLeaseID() string {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("sweep: no entropy for lease id: " + err.Error())
+	}
+	return "ls-" + hex.EncodeToString(b[:])
+}
+
+// --- job-lease wire types ---------------------------------------------
+//
+// The service-side job claim protocol shares the Lease type above. These
+// structs are the bodies of sfsweepd's /api/v1/leases endpoints; they
+// live here (not in sweepd) so the RemoteStore client and the server
+// marshal the same shapes by construction.
+
+// LeaseRequest is the body of POST /api/v1/leases. With Key set it is a
+// store-level lease on that key (the Store.Lease surface, proxied to the
+// server's local store); with Key empty it is a job claim: the server's
+// fair-share scheduler picks the next unclaimed job across all queued
+// sweeps and returns it with a lease on its key.
+type LeaseRequest struct {
+	Key        string  `json:"key,omitempty"`
+	Owner      string  `json:"owner"`
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
+// LeaseGrant is the 200 body of a successful lease or claim. Job,
+// SweepID and Index are set for job claims only.
+type LeaseGrant struct {
+	Lease   Lease  `json:"lease"`
+	Job     *Job   `json:"job,omitempty"`
+	SweepID string `json:"sweep_id,omitempty"`
+	Index   int    `json:"index,omitempty"`
+}
+
+// RenewRequest is the body of POST /api/v1/leases/{id}/renew. The full
+// lease rides along so the server can renew store-level leases (whose
+// state lives in lease files, not server memory) as well as job leases.
+type RenewRequest struct {
+	Lease      Lease   `json:"lease"`
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}

@@ -1,0 +1,38 @@
+package sweep_test
+
+// The Store conformance suite, run against the local directory backend.
+// The remote backend runs the identical suite from the sweepd package
+// (it needs a live server). External test package: the suite must see
+// only the exported Store surface, exactly like a real caller.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"slimfly/internal/sweep"
+	"slimfly/internal/sweep/storetest"
+)
+
+func TestCacheStoreConformance(t *testing.T) {
+	storetest.Run(t, storetest.Backend{
+		Open: func(t *testing.T) (sweep.Store, storetest.Plant) {
+			dir := t.TempDir()
+			c, err := sweep.OpenCache(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plant := func(t *testing.T, rel string, data []byte) {
+				t.Helper()
+				path := filepath.Join(dir, filepath.FromSlash(rel))
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return c, plant
+		},
+	})
+}

@@ -37,7 +37,7 @@ func TestSweepEndToEnd(t *testing.T) {
 	}
 	spec := e2eSpec()
 
-	run1, st1, err := Run(context.Background(), spec, Options{Cache: cache})
+	run1, st1, err := Run(context.Background(), spec, Options{Store: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestSweepEndToEnd(t *testing.T) {
 
 	// Second invocation: same spec, same cache, fresh Env. Every point is
 	// served from the cache and nothing is simulated.
-	run2, st2, err := Run(context.Background(), spec, Options{Cache: cache})
+	run2, st2, err := Run(context.Background(), spec, Options{Store: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestSweepResume(t *testing.T) {
 	defer cancel()
 	var done int32
 	_, st1, runErr := Run(ctx, spec, Options{
-		Cache:   cache,
+		Store:   cache,
 		Workers: 2,
 		OnDone: func(int, JobResult) {
 			if atomic.AddInt32(&done, 1) == 5 {
@@ -112,7 +112,7 @@ func TestSweepResume(t *testing.T) {
 		t.Fatal("nothing executed before cancellation")
 	}
 
-	_, st2, err := Run(context.Background(), spec, Options{Cache: cache})
+	_, st2, err := Run(context.Background(), spec, Options{Store: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestSweepFailedJob(t *testing.T) {
 		Loads: []float64{0.1, 0.2},
 		Sim:   SimParams{Warmup: 10, Measure: 20, Drain: 100},
 	}
-	results, st, err := Run(context.Background(), spec, Options{Cache: cache})
+	results, st, err := Run(context.Background(), spec, Options{Store: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,14 +334,14 @@ func TestSweepMetricsPayload(t *testing.T) {
 		return string(data)
 	}
 
-	run1, st1, err := Run(context.Background(), spec, Options{Cache: cache})
+	run1, st1, err := Run(context.Background(), spec, Options{Store: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st1.Executed != st1.Total {
 		t.Fatalf("first run stats = %+v", st1)
 	}
-	run2, st2, err := Run(context.Background(), spec, Options{Cache: cache})
+	run2, st2, err := Run(context.Background(), spec, Options{Store: cache})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +366,7 @@ func TestSweepMetricsPayload(t *testing.T) {
 	// collectors occupies different cache slots and carries no payload.
 	plain := *spec
 	plain.Sim.Metrics = ""
-	run4, st4, err := Run(context.Background(), &plain, Options{Cache: cache})
+	run4, st4, err := Run(context.Background(), &plain, Options{Store: cache})
 	if err != nil {
 		t.Fatal(err)
 	}

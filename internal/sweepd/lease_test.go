@@ -1,0 +1,309 @@
+package sweepd
+
+// Tests for the distributed half of the service: the remote Store
+// backend (run through the same conformance suite as the local one), the
+// bearer-token gate, and the job-lease lifecycle -- claim, heartbeat,
+// complete, expiry-requeue, and the kill-a-worker-mid-lease recovery
+// path with its byte-identical re-execution guarantee.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"slimfly/internal/sim"
+	"slimfly/internal/sweep"
+	"slimfly/internal/sweep/storetest"
+)
+
+// newRemoteHarness starts a token-guarded server over a fresh cache dir
+// and returns its pieces. workers<0 keeps all execution remote.
+func newRemoteHarness(t *testing.T, cfg Config) (*sweep.Cache, *Server, *httptest.Server, *sweep.RemoteStore) {
+	t.Helper()
+	dir := t.TempDir()
+	cache, err := sweep.OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Store = cache
+	srv := New(cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return cache, srv, ts, sweep.OpenRemote(ts.URL, cfg.Token)
+}
+
+// TestRemoteStoreConformance runs the identical Store suite the local
+// Cache passes, through a live server: every contract point -- key
+// validation, corrupt entries, foreign files, concurrent writers, the
+// lease lifecycle -- must survive the HTTP round trip.
+func TestRemoteStoreConformance(t *testing.T) {
+	storetest.Run(t, storetest.Backend{
+		Open: func(t *testing.T) (sweep.Store, storetest.Plant) {
+			dir := t.TempDir()
+			cache, err := sweep.OpenCache(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv := New(Config{Store: cache, Workers: -1, Token: "conformance-token"})
+			ts := httptest.NewServer(srv)
+			t.Cleanup(ts.Close)
+			plant := func(t *testing.T, rel string, data []byte) {
+				t.Helper()
+				path := filepath.Join(dir, filepath.FromSlash(rel))
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return sweep.OpenRemote(ts.URL, "conformance-token"), plant
+		},
+	})
+}
+
+// TestTokenAuth: with -token set, mutating endpoints reject missing and
+// wrong tokens with 401 while reads stay open.
+func TestTokenAuth(t *testing.T) {
+	cache, _, ts, good := newRemoteHarness(t, Config{Workers: -1, Token: "s3cret"})
+	key := storetest.Key(1)
+	if err := good.Put(key, sweep.Entry{Result: sim.Result{Delivered: 7}}); err != nil {
+		t.Fatalf("authenticated Put: %v", err)
+	}
+	if !cache.Has(key) {
+		t.Fatal("authenticated Put did not land in the server's store")
+	}
+
+	for _, bad := range []*sweep.RemoteStore{
+		sweep.OpenRemote(ts.URL, ""),      // missing token
+		sweep.OpenRemote(ts.URL, "wrong"), // wrong token
+	} {
+		if err := bad.Put(storetest.Key(2), sweep.Entry{}); err == nil {
+			t.Fatal("unauthenticated Put succeeded")
+		}
+		if _, _, err := bad.ClaimJob("w", time.Minute); err == nil {
+			t.Fatal("unauthenticated claim succeeded")
+		}
+		// Reads stay open: the unauthenticated client still gets hits.
+		if _, ok := bad.Get(key); !ok {
+			t.Fatal("unauthenticated Get missed a stored entry")
+		}
+	}
+
+	// The 401 body is the structured error shape.
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/api/v1/results/"+key, bytes.NewReader([]byte("{}")))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless PUT: status %d, want 401", resp.StatusCode)
+	}
+	var ae apiError
+	if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil || ae.Kind != "unauthorized" {
+		t.Fatalf("401 body: %+v (%v)", ae, err)
+	}
+}
+
+// executeGrant runs a claimed job exactly as sfworker does: through
+// sweep.Execute with the remote store, then CompleteJob.
+func executeGrant(t *testing.T, rs *sweep.RemoteStore, env *sweep.Env, grant sweep.LeaseGrant) sweep.JobResult {
+	t.Helper()
+	job := *grant.Job
+	task := sweep.Task{Job: job, Key: job.Key(), Build: func() (sim.Config, error) { return env.Config(job) }}
+	jr := sweep.Execute(task, rs, 0)
+	if jr.Err != "" {
+		t.Fatalf("job failed: %s", jr.Err)
+	}
+	return jr
+}
+
+// TestJobLeaseLifecycle walks the happy path a worker follows: claim,
+// renew, execute against the remote store, complete -- until the queue
+// is dry and the sweep is done, with every result in the server's store.
+func TestJobLeaseLifecycle(t *testing.T) {
+	cache, srv, ts, rs := newRemoteHarness(t, Config{Workers: -1, Token: "tok"})
+	srv.Start()
+	st := postSpecAuth(t, ts, specJSON("dist", 2))
+	env := sweep.NewEnv()
+
+	keys := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		grant, ok, err := rs.ClaimJob("w1", time.Minute)
+		if err != nil || !ok {
+			t.Fatalf("claim %d: ok=%v err=%v", i, ok, err)
+		}
+		if grant.SweepID != st.ID {
+			t.Fatalf("grant names sweep %s, want %s", grant.SweepID, st.ID)
+		}
+		if grant.Lease.Key != grant.Job.Key() {
+			t.Fatalf("lease key %s does not match job key %s", grant.Lease.Key, grant.Job.Key())
+		}
+		renewed, err := rs.Renew(grant.Lease, time.Minute)
+		if err != nil || renewed.ID != grant.Lease.ID {
+			t.Fatalf("renew: %+v, %v", renewed, err)
+		}
+		jr := executeGrant(t, rs, env, grant)
+		if err := rs.CompleteJob(grant.Lease.ID, jr); err != nil {
+			t.Fatalf("complete: %v", err)
+		}
+		keys[grant.Lease.Key] = true
+	}
+	if _, ok, err := rs.ClaimJob("w1", time.Minute); ok || err != nil {
+		t.Fatalf("claim on drained queue: ok=%v err=%v", ok, err)
+	}
+	waitState(t, ts, st.ID, StateDone)
+	for k := range keys {
+		if !cache.Has(k) {
+			t.Errorf("result %s never landed in the server's store", k)
+		}
+	}
+	if leases := srv.sched.leaseList(); len(leases) != 0 {
+		t.Fatalf("lease table not empty after completion: %+v", leases)
+	}
+}
+
+// TestLeaseExpiryRequeues: a claim whose heartbeats stop is requeued
+// after its TTL and granted to the next worker; the original holder's
+// late completion is rejected with 410 (its result is not lost -- the
+// Put already landed, so the re-run is a cache hit).
+func TestLeaseExpiryRequeues(t *testing.T) {
+	_, srv, ts, rs := newRemoteHarness(t, Config{Workers: -1, LeaseSweep: 20 * time.Millisecond})
+	srv.Start()
+	st := postSpec(t, ts, specJSON("exp", 1))
+
+	grant, ok, err := rs.ClaimJob("dying-worker", 60*time.Millisecond)
+	if err != nil || !ok {
+		t.Fatalf("first claim: ok=%v err=%v", ok, err)
+	}
+
+	// No heartbeat: the expiry sweep requeues the job; poll until the
+	// healthy worker gets it.
+	var grant2 sweep.LeaseGrant
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		g, ok, err := rs.ClaimJob("healthy-worker", time.Minute)
+		if err != nil {
+			t.Fatalf("reclaim: %v", err)
+		}
+		if ok {
+			grant2 = g
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("expired lease's job was never requeued")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if grant2.Lease.Key != grant.Lease.Key || grant2.Index != grant.Index {
+		t.Fatalf("requeued grant %+v does not match original %+v", grant2, grant)
+	}
+
+	// The zombie's completion must bounce: its lease is gone.
+	zombie := sweep.JobResult{Job: *grant.Job, Key: grant.Lease.Key}
+	if err := rs.CompleteJob(grant.Lease.ID, zombie); !errors.Is(err, sweep.ErrLeaseLost) {
+		t.Fatalf("zombie completion = %v, want ErrLeaseLost", err)
+	}
+
+	jr := executeGrant(t, rs, sweep.NewEnv(), grant2)
+	if err := rs.CompleteJob(grant2.Lease.ID, jr); err != nil {
+		t.Fatalf("healthy completion: %v", err)
+	}
+	waitState(t, ts, st.ID, StateDone)
+}
+
+// TestKillWorkerMidLease is the recovery guarantee end to end, in
+// process: worker A claims a job and dies silently (no release, no
+// renewals -- the moral equivalent of kill -9), a real sfworker loop
+// picks the requeued job up, and the sweep completes with an entry
+// byte-identical to a single-box execution of the same job.
+func TestKillWorkerMidLease(t *testing.T) {
+	cache, srv, ts, rs := newRemoteHarness(t, Config{Workers: -1, LeaseSweep: 20 * time.Millisecond})
+	srv.Start()
+	st := postSpec(t, ts, specJSON("kill", 1))
+
+	grantA, ok, err := rs.ClaimJob("victim", 80*time.Millisecond)
+	if err != nil || !ok {
+		t.Fatalf("victim claim: ok=%v err=%v", ok, err)
+	}
+	// Worker A is now "dead": it never renews, completes or releases.
+
+	stats, err := sweep.Work(context.Background(), rs, sweep.NewEnv(), sweep.WorkerOptions{
+		Owner: "survivor", TTL: 2 * time.Second, Poll: 20 * time.Millisecond,
+		IdleExit: 5 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("worker loop: %v", err)
+	}
+	if stats.Done != 1 {
+		t.Fatalf("survivor stats = %+v, want exactly 1 done", stats)
+	}
+	waitState(t, ts, st.ID, StateDone)
+
+	// Byte-identical recovery: the entry the survivor produced for the
+	// victim's job must match a from-scratch single-box execution.
+	key := grantA.Job.Key()
+	served, ok := cache.Get(key)
+	if !ok {
+		t.Fatalf("no entry for the recovered job %s", key)
+	}
+	solo, err := sweep.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := sweep.NewEnv()
+	job := *grantA.Job
+	jr := sweep.Execute(sweep.Task{
+		Job: job, Key: key,
+		Build: func() (sim.Config, error) { return env.Config(job) },
+	}, solo, 0)
+	if jr.Err != "" {
+		t.Fatalf("single-box run failed: %s", jr.Err)
+	}
+	want, ok := solo.Get(key)
+	if !ok {
+		t.Fatal("single-box run left no entry")
+	}
+	if !entryPayloadEqual(t, served, want) {
+		t.Fatal("recovered entry differs from single-box execution")
+	}
+}
+
+// entryPayloadEqual compares the deterministic payload of two entries
+// (job, result, metrics), ignoring the wall-clock fields (Created,
+// Elapsed) that legitimately differ between executions.
+func entryPayloadEqual(t *testing.T, a, b sweep.Entry) bool {
+	t.Helper()
+	a.Created, b.Created = time.Time{}, time.Time{}
+	a.Elapsed, b.Elapsed = 0, 0
+	aj, err := json.Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Logf("entry A: %s", aj)
+		t.Logf("entry B: %s", bj)
+		return false
+	}
+	return true
+}
+
+// postSpecAuth submits a spec to a token-guarded server. Submission
+// itself is unauthenticated (clients submit; workers mutate), so this is
+// just postSpec -- kept separate to document the intent.
+func postSpecAuth(t *testing.T, ts *httptest.Server, spec string) Status {
+	t.Helper()
+	return postSpec(t, ts, spec)
+}

@@ -61,7 +61,14 @@ type sweepRun struct {
 	jobs    []sweep.Job
 	created time.Time
 
-	next int // claim cursor; scheduler.mu only
+	// Claim-side state, scheduler.mu only. next is the claim frontier;
+	// requeued holds indices whose remote lease expired or was released
+	// and that must be handed out again (before the frontier advances, so
+	// a recovered job doesn't wait behind the rest of its sweep);
+	// inActive tracks membership in the scheduler's rotation.
+	next     int
+	requeued []int
+	inActive bool
 
 	mu         sync.Mutex
 	state      State
@@ -114,10 +121,37 @@ func (r *sweepRun) claimStarted() {
 	}
 }
 
+// terminated reports whether the run reached a terminal state (used by
+// the scheduler to drop requeues of cancelled sweeps).
+func (r *sweepRun) terminated() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state.terminal()
+}
+
+// abandon undoes one claimStarted whose claim evaporated without a
+// result: a remote worker's lease expired (or was released) and the job
+// went back in the queue. The matching re-claim will call claimStarted
+// again, so the in-flight count stays honest across requeues.
+func (r *sweepRun) abandon() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.prog.JobAbandoned()
+	r.hub.publish("progress", r.prog.Snapshot())
+}
+
 // finish records one completed job, publishes its result and progress
-// events, and closes out the sweep when it was the last job.
+// events, and closes out the sweep when it was the last job. Duplicate
+// completions for the same index (a lease that expired right at the
+// completion boundary, its job requeued and re-run) keep the first
+// result -- both are byte-identical by construction, so which one lands
+// is immaterial, but the counters must move exactly once.
 func (r *sweepRun) finish(idx int, jr sweep.JobResult) {
 	r.mu.Lock()
+	if r.reached[idx] {
+		r.mu.Unlock()
+		return
+	}
 	r.results[idx] = jr
 	r.reached[idx] = true
 	r.finished++

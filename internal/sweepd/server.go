@@ -7,8 +7,14 @@
 //	GET  /api/v1/sweeps/{id}      status/progress of one sweep
 //	GET  /api/v1/sweeps/{id}/events   SSE stream: per-job results + progress
 //	GET  /api/v1/sweeps/{id}/results  accumulated results (json|csv|jsonl)
-//	GET  /api/v1/results          index of cached scenario keys
-//	GET  /api/v1/results/{key}    one cache entry by scenario Spec.Key
+//	GET  /api/v1/results          index of stored scenario keys
+//	GET  /api/v1/results/{key}    one store entry by scenario Spec.Key
+//	PUT  /api/v1/results/{key}    upload an entry (auth; remote workers)
+//	POST /api/v1/leases           claim a job (no key) or lease a key (auth)
+//	POST /api/v1/leases/{id}/renew     heartbeat a lease (auth)
+//	POST /api/v1/leases/{id}/complete  report a claimed job's result (auth)
+//	DELETE /api/v1/leases/{id}    release a lease without a result (auth)
+//	GET  /api/v1/leases           outstanding job leases (ids redacted)
 //	DELETE /api/v1/sweeps/{id}    cancel a queued/running sweep
 //	GET  /healthz                 liveness probe
 //
@@ -17,16 +23,25 @@
 // the scenario package's error values. A fair-share scheduler
 // round-robins job claims across all queued sweeps, and every job runs
 // through the same sweep.Execute path as the batch CLI, against the
-// same cache -- a result served by the service is byte-identical to one
-// computed by `sfsweep` for the same spec. Graceful drain (Server.Drain,
-// wired to SIGTERM by cmd/sfsweepd) stops claiming, lets in-flight jobs
-// finish and commit, and marks still-queued sweeps interrupted; because
-// every finished point is cached, a restarted server resumes exactly
-// like a re-run `sfsweep` does.
+// same result store -- a result served by the service is byte-identical
+// to one computed by `sfsweep` for the same spec. Graceful drain
+// (Server.Drain, wired to SIGTERM by cmd/sfsweepd) stops claiming, lets
+// in-flight jobs finish and commit, and marks still-queued sweeps
+// interrupted; because every finished point is stored, a restarted
+// server resumes exactly like a re-run `sfsweep` does.
+//
+// The lease surface turns the server into a distributed work queue:
+// sfworker processes claim jobs under TTL'd leases (POST with no key),
+// execute through the identical sweep.Execute path against the server's
+// store (reads via GET, writes via PUT), heartbeat renewals, and report
+// completions. A worker that dies mid-job simply stops renewing; the
+// expiry sweep requeues its job and another worker re-runs it to the
+// same bytes. Mutating endpoints honour Config.Token as a bearer token.
 package sweepd
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -34,6 +49,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
 	"slimfly/internal/export"
 	"slimfly/internal/metrics"
@@ -45,22 +61,39 @@ import (
 var (
 	obsHTTPReqs        = obs.NewCounter("sweepd.http_requests")
 	obsSweepsSubmitted = obs.NewCounter("sweepd.sweeps_submitted")
+	obsAuthFailures    = obs.NewCounter("sweepd.auth_failures")
+	obsResultUploads   = obs.NewCounter("sweepd.result_uploads")
 )
 
 // maxSpecBytes bounds POST bodies; the largest legitimate specs (every
 // axis enumerated) are a few KiB.
 const maxSpecBytes = 1 << 20
 
+// maxEntryBytes bounds uploaded result entries. Entries with full
+// collector summaries run to a few hundred KiB; 16MiB leaves an order of
+// magnitude of headroom without letting a stray client buffer the heap.
+const maxEntryBytes = 16 << 20
+
 // Config configures a Server.
 type Config struct {
-	// Cache is the shared content-addressed result store. May be nil
-	// (nothing is cached or resumable; useful in tests only).
-	Cache *sweep.Cache
-	// Workers is the claim-loop width; 0 means one per available core.
+	// Store is the shared content-addressed result store. May be nil
+	// (nothing is cached or resumable; useful in tests only). Assign a
+	// typed pointer (e.g. *sweep.Cache) only when it is non-nil.
+	Store sweep.Store
+	// Workers is the local claim-loop width; 0 means one per available
+	// core, negative means none -- a scheduling-only server whose jobs
+	// all execute on remote sfworker processes.
 	Workers int
 	// SimWorkers fixes intra-simulation sharding per job; 0 re-evaluates
 	// sweep.SplitParallelism at every claim against the live queue depth.
 	SimWorkers int
+	// Token, when non-empty, is required as "Authorization: Bearer
+	// <token>" on every mutating endpoint (result uploads, the whole
+	// lease surface). Reads stay open either way.
+	Token string
+	// LeaseSweep is how often expired job leases are requeued; 0 means
+	// 1s. Expiry latency is at most TTL + LeaseSweep.
+	LeaseSweep time.Duration
 	// Debug, when true, mounts obs.DebugHandler (expvar + pprof) under
 	// /debug/ on the same mux.
 	Debug bool
@@ -70,10 +103,11 @@ type Config struct {
 // launches the workers and Drain performs the graceful shutdown.
 // Submissions made before Start queue up and run once Start is called.
 type Server struct {
-	cache *sweep.Cache
+	store sweep.Store
 	env   *sweep.Env
 	sched *scheduler
 	mux   *http.ServeMux
+	token string
 
 	mu     sync.Mutex
 	sweeps map[string]*sweepRun
@@ -85,10 +119,11 @@ type Server struct {
 func New(cfg Config) *Server {
 	env := sweep.NewEnv()
 	s := &Server{
-		cache:  cfg.Cache,
+		store:  cfg.Store,
 		env:    env,
-		sched:  newScheduler(cfg.Workers, cfg.SimWorkers, cfg.Cache, env),
+		sched:  newScheduler(cfg.Workers, cfg.SimWorkers, cfg.Store, env, cfg.LeaseSweep),
 		mux:    http.NewServeMux(),
+		token:  cfg.Token,
 		sweeps: make(map[string]*sweepRun),
 	}
 	s.mux.HandleFunc("POST /api/v1/sweeps", s.handleSubmit)
@@ -99,6 +134,12 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /api/v1/sweeps/{id}/results", s.handleResults)
 	s.mux.HandleFunc("GET /api/v1/results", s.handleIndex)
 	s.mux.HandleFunc("GET /api/v1/results/{key}", s.handleEntry)
+	s.mux.HandleFunc("PUT /api/v1/results/{key}", s.auth(s.handlePutEntry))
+	s.mux.HandleFunc("POST /api/v1/leases", s.auth(s.handleLease))
+	s.mux.HandleFunc("POST /api/v1/leases/{id}/renew", s.auth(s.handleRenew))
+	s.mux.HandleFunc("POST /api/v1/leases/{id}/complete", s.auth(s.handleComplete))
+	s.mux.HandleFunc("DELETE /api/v1/leases/{id}", s.auth(s.handleRelease))
+	s.mux.HandleFunc("GET /api/v1/leases", s.handleLeaseList)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
 	})
@@ -106,6 +147,26 @@ func New(cfg Config) *Server {
 		s.mux.Handle("/debug/", obs.DebugHandler())
 	}
 	return s
+}
+
+// auth gates a mutating handler behind the configured bearer token. With
+// no token configured the server runs open (single-user localhost, the
+// pre-existing behaviour); with one, a wrong or missing token is a 401
+// before the handler sees the request.
+func (s *Server) auth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.token != "" {
+			got := r.Header.Get("Authorization")
+			want := "Bearer " + s.token
+			if subtle.ConstantTimeCompare([]byte(got), []byte(want)) != 1 {
+				obsAuthFailures.Inc()
+				writeError(w, http.StatusUnauthorized, "unauthorized",
+					errors.New("sweepd: missing or wrong bearer token (server runs with -token)"))
+				return
+			}
+		}
+		h(w, r)
+	}
 }
 
 // Start launches the scheduler's workers. Idempotent.
@@ -351,8 +412,8 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 // the key set in memory; a walk error truncates the list and surfaces
 // in the trailing "error" field.
 func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
-	if s.cache == nil {
-		writeError(w, http.StatusNotFound, "no_cache", errors.New("sweepd: server runs without a cache"))
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, "no_cache", errors.New("sweepd: server runs without a result store"))
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -360,7 +421,7 @@ func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
 	io.WriteString(w, `{"keys":[`)
 	n := 0
 	var walkErr error
-	for key, err := range s.cache.Keys() {
+	for key, err := range s.store.Keys() {
 		if err != nil {
 			walkErr = err
 			break
@@ -384,8 +445,8 @@ func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
 // key (Spec.Key is a documented stable hash) fetches the shared result
 // without submitting a sweep at all.
 func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
-	if s.cache == nil {
-		writeError(w, http.StatusNotFound, "no_cache", errors.New("sweepd: server runs without a cache"))
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, "no_cache", errors.New("sweepd: server runs without a result store"))
 		return
 	}
 	key := r.PathValue("key")
@@ -394,7 +455,7 @@ func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("sweepd: %q is not a scenario key (64 hex digits)", key))
 		return
 	}
-	e, ok := s.cache.Get(key)
+	e, ok := s.store.Get(key)
 	if !ok {
 		writeError(w, http.StatusNotFound, "not_found", fmt.Errorf("sweepd: no cached result for %s", key))
 		return
@@ -402,18 +463,162 @@ func (s *Server) handleEntry(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, e)
 }
 
-// validKey reports whether key has the exact shape of a scenario
-// Spec.Key (hex SHA-256). Anything else is rejected before it can reach
-// the filesystem layer.
-func validKey(key string) bool {
-	if len(key) != 64 {
-		return false
+// handlePutEntry stores an uploaded result entry: the write half of the
+// shared store, used by remote workers (their Execute runs with a
+// RemoteStore, so the entry lands here the moment the simulation ends).
+// The body is the same Entry JSON the GET side serves.
+func (s *Server) handlePutEntry(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusNotFound, "no_cache", errors.New("sweepd: server runs without a result store"))
+		return
 	}
-	for i := 0; i < len(key); i++ {
-		c := key[i]
-		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
-			return false
+	key := r.PathValue("key")
+	if !validKey(key) {
+		writeError(w, http.StatusBadRequest, "bad_key",
+			fmt.Errorf("sweepd: %q is not a scenario key (64 hex digits)", key))
+		return
+	}
+	var e sweep.Entry
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxEntryBytes)).Decode(&e); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_entry", fmt.Errorf("sweepd: decoding entry: %w", err))
+		return
+	}
+	if err := s.store.Put(key, e); err != nil {
+		var ke *sweep.KeyError
+		if errors.As(err, &ke) {
+			writeError(w, http.StatusBadRequest, "bad_key", err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, "store_error", err)
+		return
+	}
+	obsResultUploads.Inc()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleLease is the one claim endpoint, split on the request's key
+// field. With a key it is a store-level lease (delegated to the server's
+// own store, so every process in the fleet contends on one table); with
+// no key it is a job claim against the fair-share scheduler: the grant
+// carries the job itself plus a TTL'd lease the worker must heartbeat.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req sweep.LeaseRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxSpecBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_lease", fmt.Errorf("sweepd: decoding lease request: %w", err))
+		return
+	}
+	ttl := clampTTL(time.Duration(req.TTLSeconds * float64(time.Second)))
+	if req.Key != "" {
+		if s.store == nil {
+			writeError(w, http.StatusNotFound, "no_cache", errors.New("sweepd: server runs without a result store"))
+			return
+		}
+		l, err := s.store.Lease(req.Key, req.Owner, ttl)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusCreated, sweep.LeaseGrant{Lease: l})
+		case errors.Is(err, sweep.ErrLeaseHeld):
+			writeError(w, http.StatusConflict, "lease_held", err)
+		default:
+			var ke *sweep.KeyError
+			if errors.As(err, &ke) {
+				writeError(w, http.StatusBadRequest, "bad_key", err)
+				return
+			}
+			writeError(w, http.StatusInternalServerError, "store_error", err)
+		}
+		return
+	}
+	grant, ok, draining := s.sched.lease(req.Owner, ttl)
+	switch {
+	case draining:
+		writeError(w, http.StatusServiceUnavailable, "draining",
+			errors.New("sweepd: server is draining; no new claims"))
+	case !ok:
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		writeJSON(w, http.StatusCreated, grant)
+	}
+}
+
+// handleRenew heartbeats a lease. Job leases are matched by id in the
+// scheduler's table; anything else falls through to the store's lease
+// table (the request body carries the full lease for that). 410 means
+// the lease is gone -- for a job lease, the job has been requeued.
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req sweep.RenewRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxSpecBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_lease", fmt.Errorf("sweepd: decoding renew request: %w", err))
+		return
+	}
+	id := r.PathValue("id")
+	ttl := clampTTL(time.Duration(req.TTLSeconds * float64(time.Second)))
+	l, err := s.sched.renew(id, ttl)
+	if err == nil {
+		writeJSON(w, http.StatusOK, sweep.LeaseGrant{Lease: l})
+		return
+	}
+	if s.store != nil && req.Lease.ID == id {
+		if l, err := s.store.Renew(req.Lease, ttl); err == nil {
+			writeJSON(w, http.StatusOK, sweep.LeaseGrant{Lease: l})
+			return
 		}
 	}
-	return true
+	writeError(w, http.StatusGone, "lease_lost",
+		fmt.Errorf("sweepd: lease %s expired or was never granted", id))
 }
+
+// handleComplete records a claimed job's outcome and drops its lease.
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var jr sweep.JobResult
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxEntryBytes)).Decode(&jr); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_result", fmt.Errorf("sweepd: decoding job result: %w", err))
+		return
+	}
+	id := r.PathValue("id")
+	switch err := s.sched.complete(id, jr); {
+	case err == nil:
+		w.WriteHeader(http.StatusNoContent)
+	case errors.Is(err, sweep.ErrLeaseLost):
+		writeError(w, http.StatusGone, "lease_lost",
+			fmt.Errorf("sweepd: lease %s expired and its job was requeued", id))
+	default:
+		writeError(w, http.StatusBadRequest, "bad_result", err)
+	}
+}
+
+// handleRelease drops a lease without a result: job leases requeue
+// immediately, store leases are deleted. Releasing an already-gone lease
+// is a no-op (release must be safe to retry).
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.sched.release(id); err == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	var l sweep.Lease
+	if err := json.NewDecoder(io.LimitReader(r.Body, maxSpecBytes)).Decode(&l); err == nil && s.store != nil && l.ID == id {
+		if err := s.store.Release(l); errors.Is(err, sweep.ErrLeaseLost) {
+			writeError(w, http.StatusGone, "lease_lost",
+				fmt.Errorf("sweepd: lease %s is held by someone else now", id))
+			return
+		}
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleLeaseList reports the outstanding job leases (who is working on
+// what, and when each claim lapses). Lease ids are capabilities and are
+// redacted; the endpoint is read-only observability.
+func (s *Server) handleLeaseList(w http.ResponseWriter, _ *http.Request) {
+	leases := s.sched.leaseList()
+	writeJSON(w, http.StatusOK, struct {
+		Leases []sweep.Lease `json:"leases"`
+		Count  int           `json:"count"`
+	}{Leases: leases, Count: len(leases)})
+}
+
+// validKey reports whether key has the exact shape of a scenario
+// Spec.Key (hex SHA-256). Anything else is rejected before it can reach
+// the store layer. (Delegates to the store package's canonical check.)
+func validKey(key string) bool { return sweep.ValidKey(key) }

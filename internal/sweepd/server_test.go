@@ -42,12 +42,12 @@ func specJSON(name string, nloads int) string {
 // httptest listener.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	if cfg.Cache == nil {
+	if cfg.Store == nil {
 		c, err := sweep.OpenCache(t.TempDir())
 		if err != nil {
 			t.Fatal(err)
 		}
-		cfg.Cache = c
+		cfg.Store = c
 	}
 	srv := New(cfg)
 	ts := httptest.NewServer(srv)
@@ -458,7 +458,7 @@ func TestCacheSharing(t *testing.T) {
 // pins the interleaving: one claim per sweep per turn, in submission
 // order, with the big sweep taking the leftover turns alone.
 func TestFairShareClaimOrder(t *testing.T) {
-	sched := newScheduler(1, 1, nil, sweep.NewEnv())
+	sched := newScheduler(1, 1, nil, sweep.NewEnv(), 0)
 	mkRun := func(id string, njobs int) *sweepRun {
 		spec := &sweep.Spec{Name: id}
 		jobs := make([]sweep.Job, njobs)
@@ -526,7 +526,7 @@ func TestDrainResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, ts := newTestServer(t, Config{Workers: 1, SimWorkers: 1, Cache: cache})
+	srv, ts := newTestServer(t, Config{Workers: 1, SimWorkers: 1, Store: cache})
 	srv.Start()
 	// Long measure window: each job takes long enough that the drain
 	// issued right after the first result reliably lands mid-sweep.
@@ -587,7 +587,7 @@ func TestDrainResume(t *testing.T) {
 
 	// "Restart": a new server over the same cache dir completes the sweep
 	// with the drained points served from cache, not re-executed.
-	srv2, ts2 := newTestServer(t, Config{Workers: 1, Cache: cache})
+	srv2, ts2 := newTestServer(t, Config{Workers: 1, Store: cache})
 	srv2.Start()
 	st2 := postSpec(t, ts2, drainSpec)
 	final2 := waitState(t, ts2, st2.ID, StateDone)
