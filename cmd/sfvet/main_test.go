@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRepoInvariantsClean is the integration gate: the whole module must
+// satisfy its own four invariants. A failure here reproduces locally with
+//
+//	go run ./cmd/sfvet ./...
+func TestRepoInvariantsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	if code := run([]string{"slimfly/..."}); code != 0 {
+		t.Fatalf("sfvet slimfly/... exited %d, want 0 (run `go run ./cmd/sfvet ./...` for the diagnostics)", code)
+	}
+}
+
+// TestVettoolHandshake pins the cmd/go vettool protocol surface: the
+// -V=full line must carry a buildID= token (cmd/go folds it into the
+// build cache key) and -flags must answer a JSON flag schema.
+func TestVettoolHandshake(t *testing.T) {
+	out := captureStdout(t, func() {
+		if code := run([]string{"-V=full"}); code != 0 {
+			t.Fatalf("-V=full exited %d, want 0", code)
+		}
+	})
+	if !strings.HasPrefix(out, "sfvet version ") || !strings.Contains(out, "buildID=") {
+		t.Fatalf("-V=full output %q lacks the version/buildID shape cmd/go parses", out)
+	}
+
+	out = captureStdout(t, func() {
+		if code := run([]string{"-flags"}); code != 0 {
+			t.Fatalf("-flags exited %d, want 0", code)
+		}
+	})
+	if strings.TrimSpace(out) != "[]" {
+		t.Fatalf("-flags output %q, want []", out)
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	if code := run([]string{"-checks", "nope"}); code != 1 {
+		t.Fatalf("-checks nope exited %d, want 1", code)
+	}
+}
+
+func TestList(t *testing.T) {
+	out := captureStdout(t, func() {
+		if code := run([]string{"-list"}); code != 0 {
+			t.Fatalf("-list exited %d, want 0", code)
+		}
+	})
+	for _, name := range []string{"hotalloc", "decidepure", "keystable", "detrand"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output lacks analyzer %q:\n%s", name, out)
+		}
+	}
+}
+
+func captureStdout(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := r.Read(buf)
+	return string(buf[:n])
+}

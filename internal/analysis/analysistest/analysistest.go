@@ -1,0 +1,151 @@
+// Package analysistest runs an analyzer over a fixture package and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library
+// only.
+//
+// A fixture is one directory holding one package whose imports are
+// restricted to the standard library. Expectations are written on the
+// offending line:
+//
+//	x := fmt.Sprintf("%d", i) // want `hot path calls fmt\.Sprintf`
+//
+// Every diagnostic must match a want on its line and every want must be
+// matched; lines without wants must stay silent. Fixture files double as
+// documentation of both the violations and the allowed patterns.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"slimfly/internal/analysis"
+)
+
+// wantRE pulls the backquoted or double-quoted expectation patterns off a
+// // want comment.
+var wantRE = regexp.MustCompile("//\\s*want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)")
+
+var wantArgRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run analyses the fixture package in dir with a and reports mismatches
+// between the diagnostics and the fixture's want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: no Go files in %s", dir)
+	}
+
+	info := analysis.NewInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		t.Fatalf("analysistest: type-checking %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg,
+		TypesInfo: info,
+		Facts:     analysis.NewFactStore(),
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: running %s: %v", a.Name, err)
+	}
+
+	wants, err := collectWants(fset, files)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, d := range diags {
+		p := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+		match := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				match = true
+				break
+			}
+		}
+		if !match {
+			t.Errorf("%s: unexpected diagnostic: %s", p, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, w.re)
+			}
+		}
+	}
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func collectWants(fset *token.FileSet, files []*ast.File) (map[string][]*want, error) {
+	wants := map[string][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+				for _, arg := range wantArgRE.FindAllString(m[1], -1) {
+					pat := arg[1 : len(arg)-1]
+					if arg[0] == '"' {
+						pat = strings.ReplaceAll(pat, `\"`, `"`)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", p, pat, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants, nil
+}

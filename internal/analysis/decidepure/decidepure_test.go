@@ -1,0 +1,12 @@
+package decidepure_test
+
+import (
+	"testing"
+
+	"slimfly/internal/analysis/analysistest"
+	"slimfly/internal/analysis/decidepure"
+)
+
+func TestDecidepure(t *testing.T) {
+	analysistest.Run(t, "testdata/decide", decidepure.Analyzer)
+}

@@ -1,0 +1,76 @@
+// Package decide is the decidepure fixture: a miniature of the sharded
+// engine's decide phase using the same type names the analyzer keys on
+// (Sim, router, shardState, Packet). Every write class appears once --
+// the sanctioned ones silent, the violations with their diagnostics.
+package decide
+
+type Packet struct {
+	Interm int32
+	Phase  int8
+	Hops   int8
+}
+
+type router struct {
+	rr    []int32
+	flits int
+}
+
+type shardState struct {
+	recs []int32
+	n    int
+}
+
+type Sim struct {
+	cycle   int64
+	routers []router
+	scratch []int32
+}
+
+var grants int
+
+// decideRouter mirrors the real engine's decide half.
+//
+//sf:decide
+func (s *Sim) decideRouter(rt *router, sh *shardState, p *Packet) {
+	sh.recs = append(sh.recs, 1) // shard scratch: writable
+	sh.n++                       // shard scratch: writable
+	rt.rr[0] = 3                 // the router's round-robin pointers: documented exception
+	rt.flits--                   // want `decide-phase function decideRouter writes router field "flits"`
+	p.Phase = 1                  // idempotent packet field: writable
+	p.Interm = 2                 // idempotent packet field: writable
+	p.Hops++                     // want `decide-phase function decideRouter writes Packet field "Hops"`
+	s.cycle++                    // want `decide-phase function decideRouter writes shared engine state \(field "cycle"\)`
+	grants = 1                   // want `decide-phase function decideRouter writes package-level variable grants`
+	local := 0
+	local++ // function-local: writable
+	_ = local
+	s.helper(sh)
+	s.fail()
+}
+
+// helper joins the decide set through the static call above: the marker
+// does not repeat on callees, but their writes are still checked.
+func (s *Sim) helper(sh *shardState) {
+	sh.n = 0         // shard scratch: writable
+	s.cycle = 0      // want `decide-phase function helper writes shared engine state \(field "cycle"\)`
+	s.scratch[0] = 1 //sf:allow(write: fixture demonstrates a reviewed suppression)
+}
+
+// fail is the panic-formatting pattern: //sf:coldpath cuts decide-set
+// propagation, so its shared-state write is not reported.
+//
+//sf:coldpath
+func (s *Sim) fail() {
+	s.cycle = 9
+}
+
+// decideAlias shows the taint tracking: an alias of shard scratch stays
+// writable, an alias of shared engine state does not.
+//
+//sf:decide
+func (s *Sim) decideAlias(sh *shardState) {
+	recs := sh.recs
+	recs[0] = 1 // alias of shard scratch: writable
+	rts := s.routers
+	rts[0].flits = 1 // want `decide-phase function decideAlias writes shared engine state \(field "flits"\)`
+}

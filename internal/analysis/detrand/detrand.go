@@ -1,0 +1,95 @@
+// Package detrand enforces the engine's determinism contract in the
+// result-producing packages (internal/{sim,route,scenario,metrics,
+// export}): identical specs must produce bit-identical results on every
+// machine, every run, every worker count -- that is what makes the golden
+// tests, the parallel parity wall and the shared sweep cache sound.
+//
+// Three constructs break it silently and are reported here:
+//
+//   - the global math/rand generators (and /v2): seeded from global
+//     state, shared across goroutines; all randomness must come from the
+//     seeded, jumpable internal/stats.RNG streams. The import itself is
+//     flagged -- there is no sanctioned use.
+//   - wall-clock reads (time.Now, time.Since, time.Until): results must
+//     be functions of the spec, never of when they ran.
+//     //sf:allow(time: why) acknowledges a reviewed non-result use.
+//   - map iteration: range order is deliberately randomised by the
+//     runtime, so any map range whose effects reach results, exports or
+//     iteration-order-sensitive state is a heisenbug. Sort the keys and
+//     range over the sorted slice, or annotate the statement
+//     //sf:order-insensitive(why) after checking the body is commutative.
+package detrand
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"slimfly/internal/analysis"
+)
+
+// Analyzer is the detrand pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrand",
+	Doc:  "no global RNG, wall clock or unordered map iteration in deterministic packages",
+	Run:  run,
+}
+
+// deterministic names the packages under the determinism contract, by
+// package name: the simulator core, routing, the scenario registry, the
+// metrics pipeline and the exporters.
+var deterministic = map[string]bool{
+	"sim":      true,
+	"route":    true,
+	"scenario": true,
+	"metrics":  true,
+	"export":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !deterministic[pass.Pkg.Name()] {
+		return nil
+	}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"draw from a seeded internal/stats.RNG stream threaded through the call path",
+					"import of %s in deterministic package %s: global RNG state breaks run-to-run reproducibility", path, pass.Pkg.Name())
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := analysis.StaticCallee(info, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				switch fn.Name() {
+				case "Now", "Since", "Until":
+					if !pass.Allowed("time", n.Pos()) {
+						pass.Reportf(n.Pos(),
+							"results must be functions of the spec, not of when they ran; //sf:allow(time: why) for reviewed non-result uses (logging, progress)",
+							"time.%s in deterministic package %s", fn.Name(), pass.Pkg.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				t := info.Types[n.X].Type
+				if t == nil {
+					return true
+				}
+				if _, ok := t.Underlying().(*types.Map); ok {
+					if !pass.OrderInsensitive(n.Pos()) {
+						pass.Reportf(n.Pos(),
+							"sort the keys and range over the sorted slice, or annotate //sf:order-insensitive(why the body commutes) after review",
+							"map iteration order is nondeterministic and may escape into results (package %s)", pass.Pkg.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package detrand_test
+
+import (
+	"testing"
+
+	"slimfly/internal/analysis/analysistest"
+	"slimfly/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	analysistest.Run(t, "testdata/sim", detrand.Analyzer)
+}

@@ -1,0 +1,41 @@
+// Package sim is the detrand fixture, named after one of the packages
+// under the determinism contract so the analyzer triggers. Each banned
+// construct appears once, next to its sanctioned counterpart.
+package sim
+
+import (
+	"math/rand" // want `import of math/rand in deterministic package sim`
+	"sort"
+	"time"
+)
+
+func draw() int { return rand.Int() }
+
+func stamp() int64 {
+	return time.Now().Unix() // want `time\.Now in deterministic package sim`
+}
+
+// progress is the reviewed non-result use of the wall clock: suppressed
+// with a justification, the pattern for logging and rate limiting.
+func progress() time.Time {
+	return time.Now() //sf:allow(time: fixture demonstrates a reviewed non-result use)
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// keysSorted is the sanctioned shape: collect (order-insensitively),
+// sort, then iterate the slice.
+func keysSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //sf:order-insensitive(collects all keys; order restored by the sort below)
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

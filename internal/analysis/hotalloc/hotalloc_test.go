@@ -1,0 +1,12 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"slimfly/internal/analysis/analysistest"
+	"slimfly/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata/hot", hotalloc.Analyzer)
+}

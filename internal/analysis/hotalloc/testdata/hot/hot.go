@@ -1,0 +1,85 @@
+// Package hot is the hotalloc fixture: each flagged construct appears
+// once with its diagnostic, next to the allowed form of the same pattern
+// (suppressed, cold, allowlisted or pointer-shaped), so the file doubles
+// as a catalogue of what the hot-path contract does and does not permit.
+package hot
+
+import (
+	"math/bits"
+	"strconv"
+	"sync/atomic"
+)
+
+type ring struct {
+	buf []int
+	n   int
+}
+
+type state struct {
+	r       ring
+	scratch []int
+	counts  map[int]int
+	ops     atomic.Int64
+	sink    any
+}
+
+// step is the fixture's hot seed; describe, helper and box join the hot
+// set through the static calls below, so the marker does not repeat on
+// callees.
+//
+//sf:hotpath
+func (s *state) step(v int) {
+	s.r.buf = append(s.r.buf, v)         // want `append may grow its backing array`
+	s.scratch = append(s.scratch[:0], v) //sf:allow(append: scratch is presized at construction and reset, not grown)
+	_ = make([]int, v)                   // want `make allocates`
+	_ = new(ring)                        // want `new allocates`
+	m := map[int]int{v: v}               // want `map literal allocates`
+	_ = m
+	sl := []int{v} // want `slice literal allocates`
+	_ = sl
+	p := &ring{} // want `&composite literal escapes to the heap`
+	_ = p
+	s.counts[v] = 1       // want `map assignment may allocate`
+	const tag = "a" + "b" // constant-folded concatenation: free at run time
+	_ = tag
+	s.describe(v)
+	s.helper(v)
+	s.cold()
+	s.ops.Add(1)                // allowlisted package sync/atomic
+	_ = bits.OnesCount(9)       // allowlisted package math/bits
+	box(v)                      // want `argument boxes a non-pointer value into an interface parameter`
+	box(&s.r)                   // pointer-shaped argument: no boxing
+	s.sink = v                  // want `assignment boxes a non-pointer value into an interface`
+	s.sink = &s.r               // pointer-shaped: no boxing
+	go s.helper(v)              // want `go statement allocates a goroutine`
+	f := func() { s.helper(1) } // want `closure may escape to the heap`
+	f()
+	defer func() { s.r.n = 0 }() // deferred closures are open-coded: allowed
+}
+
+// describe shows the string diagnostics; it is hot by propagation from
+// step.
+func (s *state) describe(v int) {
+	label := "router"
+	label += "x"        // want `string concatenation allocates`
+	_ = label + "y"     // want `string concatenation allocates`
+	_ = string(rune(v)) // want `conversion to string allocates`
+	_ = []byte(label)   // want `string-to-slice conversion copies`
+	_ = strconv.Itoa(v) // want `hot path calls strconv\.Itoa which is not marked //sf:hotpath`
+}
+
+// helper is allocation-free and joins the hot set silently.
+func (s *state) helper(v int) {
+	s.r.n += v
+}
+
+// cold allocates freely: //sf:coldpath cuts hot-set propagation, the
+// pattern for panic formatting and one-time setup.
+//
+//sf:coldpath
+func (s *state) cold() {
+	s.scratch = append(s.scratch, make([]int, 16)...)
+}
+
+// box stands in for an interface-taking API on the hot path.
+func box(v any) { _ = v }

@@ -1,0 +1,12 @@
+package keystable_test
+
+import (
+	"testing"
+
+	"slimfly/internal/analysis/analysistest"
+	"slimfly/internal/analysis/keystable"
+)
+
+func TestKeystable(t *testing.T) {
+	analysistest.Run(t, "testdata/scenario", keystable.Analyzer)
+}

@@ -1,0 +1,30 @@
+// Package scenario is the keystable fixture: a miniature Spec tree named
+// exactly like the real one (the analyzer triggers on package scenario,
+// type Spec) covering each field class -- keyed, pinned exclusion, and
+// the three violations: untagged, unlisted json:"-", and unexported.
+package scenario
+
+// TopoSpec is fully keyed: every field flows into Spec.Key.
+type TopoSpec struct {
+	Q      int    `json:"q"`
+	Layout string `json:"layout"`
+}
+
+// SimParams carries the violation catalogue.
+type SimParams struct {
+	Cycles  int    `json:"cycles"`
+	Workers int    `json:"-"` // the pinned exclusion SimParams.Workers: allowed
+	Seed    int64  // want `field SimParams\.Seed has no json tag`
+	Scratch string `json:"-"` // want `field SimParams\.Scratch carries json:"-" but is not in the pinned exclusion list`
+	hidden  int    // want `unexported field SimParams\.hidden is invisible to json\.Marshal`
+}
+
+// Spec is the walk root; the analyzer recurses into TopoSpec and
+// SimParams through these fields.
+type Spec struct {
+	Name   string    `json:"name"`
+	Topo   TopoSpec  `json:"topo"`
+	Params SimParams `json:"params"`
+}
+
+var _ = Spec{Params: SimParams{hidden: 0}}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	Root       bool // named by the load patterns (diagnostics are reported for roots only)
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Loader type-checks module packages for analysis. It exists because the
+// stock source importer resolves only GOPATH/GOROOT layouts: module-local
+// import paths must be located via `go list` and checked in dependency
+// order, with the importer answering module paths from the loaded set and
+// delegating the standard library to the compiler-independent source
+// importer (all offline -- nothing is downloaded).
+type Loader struct {
+	Dir string // module directory to run `go list` in
+
+	Fset  *token.FileSet
+	local map[string]*types.Package
+	std   types.ImporterFrom
+}
+
+// NewLoader returns a loader rooted at the module directory dir.
+func NewLoader(dir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Dir:   dir,
+		Fset:  fset,
+		local: map[string]*types.Package{},
+		std:   importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// Import implements types.Importer over the loaded module packages with a
+// standard-library fallback.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.local[path]; ok {
+		return p, nil
+	}
+	return l.std.ImportFrom(path, l.Dir, 0)
+}
+
+// Load lists patterns plus their transitive module-local dependencies and
+// type-checks them in dependency order. Every returned package carries
+// full type information; packages matched by the patterns themselves are
+// marked Root.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	roots, err := l.list(false, patterns)
+	if err != nil {
+		return nil, err
+	}
+	isRoot := map[string]bool{}
+	for _, p := range roots {
+		isRoot[p.ImportPath] = true
+	}
+	deps, err := l.list(true, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	var out []*Package
+	for _, lp := range deps { // `go list -deps` emits dependencies first
+		if lp.Standard {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("analysis: %s uses cgo, which the offline loader does not support", lp.ImportPath)
+		}
+		pkg, err := l.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Root = isRoot[lp.ImportPath]
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// list shells out to `go list -json`, with -deps when deps is set.
+func (l *Loader) list(deps bool, patterns []string) ([]*listedPkg, error) {
+	args := []string{"list", "-e", "-json=ImportPath,Dir,Name,GoFiles,CgoFiles,Standard,Error"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	outPipe, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(outPipe)
+	for {
+		lp := new(listedPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: parsing go list output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// check parses and type-checks one listed package.
+func (l *Loader) check(lp *listedPkg) (*Package, error) {
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: l}
+	pkg, err := conf.Check(lp.ImportPath, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", lp.ImportPath, err)
+	}
+	l.local[lp.ImportPath] = pkg
+	return &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Files:      files,
+		Pkg:        pkg,
+		Info:       info,
+	}, nil
+}
+
+// NewInfo allocates the types.Info maps every pass relies on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}

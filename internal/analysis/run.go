@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+)
+
+// Run executes every analyzer over every loaded package, in load
+// (dependency) order so cross-package facts flow from dependencies to
+// dependents, and returns the diagnostics reported for root packages
+// sorted by position. Non-root dependency packages are still analysed --
+// that is what populates the fact store -- but their findings are not
+// reported: the caller asked about the roots.
+func Run(fset *token.FileSet, analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	facts := NewFactStore()
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.Info,
+				Facts:     facts,
+			}
+			pass.Report = func(d Diagnostic) {
+				if pkg.Root {
+					diags = append(diags, d)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// Print writes diagnostics in the conventional file:line:col format, one
+// per line, with the analyzer name and fix hint.
+func Print(w io.Writer, fset *token.FileSet, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: [%s] %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+		if d.Hint != "" {
+			fmt.Fprintf(w, "\n\tfix: %s", d.Hint)
+		}
+		fmt.Fprintln(w)
+	}
+}

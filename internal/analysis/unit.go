@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// UnitConfig is the JSON configuration `go vet -vettool` hands the tool
+// for each package, mirroring the cmd/go <-> vet tool protocol (the same
+// schema golang.org/x/tools/go/analysis/unitchecker consumes).
+type UnitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes the analyzers on one package described by a vet.cfg
+// file and returns the process exit code: 0 clean, 1 analysis failure, 2
+// diagnostics reported (the vet convention). Compiler export data from
+// cfg.PackageFile serves the imports, and cross-package facts travel
+// through the .vetx files cmd/go threads between dependent runs -- so
+// hotalloc's //sf:hotpath marks cross package boundaries under the
+// vettool driver exactly as they do in the standalone checker.
+func RunUnit(cfgPath string, analyzers []*Analyzer, stderr io.Writer) int {
+	cfg, err := readUnitConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "sfvet: %v\n", err)
+		return 1
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(stderr, "sfvet: %v\n", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, compiler, lookup)}
+	if cfg.GoVersion != "" {
+		conf.GoVersion = cfg.GoVersion
+	}
+	info := NewInfo()
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "sfvet: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	// Dependency facts in, this package's facts out.
+	facts := NewFactStore()
+	deps := make([]string, 0, len(cfg.PackageVetx))
+	for _, vetx := range cfg.PackageVetx {
+		deps = append(deps, vetx)
+	}
+	sort.Strings(deps)
+	for _, vetx := range deps {
+		if err := facts.ReadFile(vetx); err != nil {
+			fmt.Fprintf(stderr, "sfvet: %v\n", err)
+			return 1
+		}
+	}
+
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Facts:     facts,
+			Report:    func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			fmt.Fprintf(stderr, "sfvet: %s on %s: %v\n", a.Name, cfg.ImportPath, err)
+			return 1
+		}
+	}
+
+	if cfg.VetxOutput != "" {
+		if err := os.MkdirAll(filepath.Dir(cfg.VetxOutput), 0o777); err == nil || os.IsExist(err) {
+			if err := facts.WriteFile(cfg.VetxOutput, cfg.ImportPath); err != nil {
+				fmt.Fprintf(stderr, "sfvet: writing facts: %v\n", err)
+				return 1
+			}
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	if len(diags) > 0 {
+		sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+		Print(stderr, fset, diags)
+		return 2
+	}
+	return 0
+}
+
+func readUnitConfig(path string) (*UnitConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(UnitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", path, err)
+	}
+	return cfg, nil
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"slimfly/internal/metrics"
 )
@@ -171,10 +172,19 @@ func ValidateChromeTrace(r io.Reader) error {
 			}
 		}
 	}
-	for key, n := range open {
+	// Report the lexically first unbalanced pair: ranging the map directly
+	// would make the error message depend on iteration order (a detrand
+	// finding -- same malformed trace, different error text per run).
+	unbalanced := make([]string, 0, len(open))
+	for key, n := range open { //sf:order-insensitive(collects all keys; order restored by the sort below)
 		if n != 0 {
-			return fmt.Errorf("export: unbalanced async pair: %q left open %d deep", key, n)
+			unbalanced = append(unbalanced, key)
 		}
+	}
+	if len(unbalanced) > 0 {
+		sort.Strings(unbalanced)
+		key := unbalanced[0]
+		return fmt.Errorf("export: unbalanced async pair: %q left open %d deep", key, open[key])
 	}
 	return nil
 }

@@ -61,6 +61,8 @@ func (c *ChannelLoads) Attach(m Meta) {
 }
 
 // Hop counts one flit departing router's network output port.
+//
+//sf:hotpath
 func (c *ChannelLoads) Hop(router, port int32, _ int64) {
 	c.flits[c.offsets[router]+port]++
 }

@@ -39,9 +39,13 @@ func (f *Fairness) Attach(m Meta) {
 }
 
 // Inject counts a measured injection at its source.
+//
+//sf:hotpath
 func (f *Fairness) Inject(src int32, _ int64) { f.injected[src]++ }
 
 // Deliver counts a measured delivery and its latency at the source.
+//
+//sf:hotpath
 func (f *Fairness) Deliver(src, _ int32, latency, _ int64) {
 	f.delivered[src]++
 	f.latSum[src] += latency

@@ -76,6 +76,8 @@ func (h *LatencyHist) Attach(Meta) {
 }
 
 // Deliver records one delivered packet's latency.
+//
+//sf:hotpath
 func (h *LatencyHist) Deliver(_, _ int32, latency, _ int64) {
 	if latency < 0 {
 		latency = 0

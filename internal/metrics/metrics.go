@@ -231,6 +231,8 @@ func (s *Set) Attach(m Meta) {
 }
 
 // Inject fans the injection observation out to its observers.
+//
+//sf:hotpath
 func (s *Set) Inject(src int32, cycle int64) {
 	for _, c := range s.inj {
 		c.Inject(src, cycle)
@@ -238,6 +240,8 @@ func (s *Set) Inject(src int32, cycle int64) {
 }
 
 // Hop fans the channel-departure observation out to its observers.
+//
+//sf:hotpath
 func (s *Set) Hop(router, port int32, cycle int64) {
 	for _, c := range s.hop {
 		c.Hop(router, port, cycle)
@@ -245,6 +249,8 @@ func (s *Set) Hop(router, port int32, cycle int64) {
 }
 
 // Deliver fans the delivery observation out to its observers.
+//
+//sf:hotpath
 func (s *Set) Deliver(src, hops int32, latency, cycle int64) {
 	for _, c := range s.del {
 		c.Deliver(src, hops, latency, cycle)
@@ -252,6 +258,8 @@ func (s *Set) Deliver(src, hops int32, latency, cycle int64) {
 }
 
 // Cycle fans the per-cycle tick out to its observers.
+//
+//sf:hotpath
 func (s *Set) Cycle(cycle int64) {
 	for _, c := range s.cyc {
 		c.Cycle(cycle)
@@ -259,6 +267,8 @@ func (s *Set) Cycle(cycle int64) {
 }
 
 // PacketInject fans the packet-injection event out to its observers.
+//
+//sf:hotpath
 func (s *Set) PacketInject(id uint64, dst, router int32, tag TraceTag, cycle int64) {
 	if traceHash(id)&s.pktMask != 0 {
 		return
@@ -269,6 +279,8 @@ func (s *Set) PacketInject(id uint64, dst, router int32, tag TraceTag, cycle int
 }
 
 // PacketHop fans the allocation-grant event out to its observers.
+//
+//sf:hotpath
 func (s *Set) PacketHop(id uint64, router, port int32, vc int8, cycle int64) {
 	if traceHash(id)&s.pktMask != 0 {
 		return
@@ -279,6 +291,8 @@ func (s *Set) PacketHop(id uint64, router, port int32, vc int8, cycle int64) {
 }
 
 // PacketDeliver fans the packet-delivery event out to its observers.
+//
+//sf:hotpath
 func (s *Set) PacketDeliver(id uint64, router, hops int32, latency, cycle int64) {
 	if traceHash(id)&s.pktMask != 0 {
 		return

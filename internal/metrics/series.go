@@ -70,6 +70,8 @@ func (s *Series) slot(cycle int64) int {
 }
 
 // Inject counts a measured injection into its interval.
+//
+//sf:hotpath
 func (s *Series) Inject(_ int32, cycle int64) {
 	if i := s.slot(cycle); i >= 0 {
 		s.injected[i]++
@@ -78,6 +80,8 @@ func (s *Series) Inject(_ int32, cycle int64) {
 
 // Deliver counts a measured in-window delivery into its interval; drain
 // deliveries (cycle >= window end) are out of range and dropped by slot.
+//
+//sf:hotpath
 func (s *Series) Deliver(_, _ int32, _, cycle int64) {
 	if cycle >= s.windowEnd {
 		return

@@ -197,6 +197,8 @@ func (t *Trace) record(ev TraceEvent) {
 }
 
 // PacketInject implements PacketObserver.
+//
+//sf:hotpath
 func (t *Trace) PacketInject(id uint64, dst, router int32, tag TraceTag, cycle int64) {
 	if !t.Sampled(id) {
 		return
@@ -206,6 +208,8 @@ func (t *Trace) PacketInject(id uint64, dst, router int32, tag TraceTag, cycle i
 }
 
 // PacketHop implements PacketObserver.
+//
+//sf:hotpath
 func (t *Trace) PacketHop(id uint64, router, port int32, vc int8, cycle int64) {
 	if !t.Sampled(id) {
 		return
@@ -215,6 +219,8 @@ func (t *Trace) PacketHop(id uint64, router, port int32, vc int8, cycle int64) {
 }
 
 // PacketDeliver implements PacketObserver.
+//
+//sf:hotpath
 func (t *Trace) PacketDeliver(id uint64, router, hops int32, latency, cycle int64) {
 	if !t.Sampled(id) {
 		return

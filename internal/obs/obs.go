@@ -30,9 +30,13 @@ type Counter struct{ v atomic.Int64 }
 
 // Add increments the counter by d (d must be >= 0 for the monotonic
 // reading to hold; this is not enforced).
+//
+//sf:hotpath
 func (c *Counter) Add(d int64) { c.v.Add(d) }
 
 // Inc increments the counter by one.
+//
+//sf:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Value returns the current count.

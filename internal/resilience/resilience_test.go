@@ -37,7 +37,7 @@ func TestDiameterAndAvgPathMetrics(t *testing.T) {
 	if DiameterWithin(2)(cut, base) {
 		t.Error("path of 8 within ring diameter +2")
 	}
-	if DiameterWithin(3)(cut, base) == false {
+	if !DiameterWithin(3)(cut, base) {
 		t.Error("path of 8 should pass with slack 3")
 	}
 	if AvgPathWithin(0.5)(cut, base) {

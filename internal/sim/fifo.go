@@ -56,7 +56,7 @@ func (f *fifo) pushTail() *Packet {
 		f.buf = f.buf[:f.n]
 		f.head = 0
 	}
-	f.buf = append(f.buf[:f.head+f.n], Packet{})
+	f.buf = append(f.buf[:f.head+f.n], Packet{}) //sf:allow(append: unbounded source queue; growth is amortised and the compaction above reclaims slack first)
 	f.n++
 	return &f.buf[f.head+f.n-1]
 }

@@ -140,7 +140,11 @@ func newParEngine(s *Sim, workers, maxQ, maxOutputs int) *parEngine {
 }
 
 // startWorkers launches one goroutine per shard beyond the first (the
-// main goroutine decides shard 0 itself while waiting).
+// main goroutine decides shard 0 itself while waiting). It runs once per
+// pool lifetime, not per cycle -- //sf:coldpath exempts the goroutine
+// launches from the hot-path allocation rule.
+//
+//sf:coldpath
 func (s *Sim) startWorkers() {
 	pe := s.par
 	pe.quit = make(chan struct{})
@@ -182,6 +186,8 @@ func (s *Sim) Close() {
 // stepPhased advances one cycle on the sharded engine. Credits, injection,
 // link traversal and worklist pruning are the serial phases unchanged;
 // only switch allocation is split into parallel decide + ordered commit.
+//
+//sf:hotpath
 func (s *Sim) stepPhased(inject bool) {
 	pe := s.par
 	s.applyCredits()
@@ -249,6 +255,9 @@ func (s *Sim) stepPhased(inject bool) {
 // decideShard runs the allocation decision logic for every active router
 // of one shard, recording grants into the shard scratch. Panics are
 // captured for re-raise on the main goroutine.
+//
+//sf:hotpath
+//sf:decide
 func (s *Sim) decideShard(sh *shardState) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -278,7 +287,13 @@ func (s *Sim) decideShard(sh *shardState) {
 //
 // This is the serial allocate (sim.go) in two halves; policy changes must
 // be mirrored between the two in lockstep -- the bit-parity wall
-// (TestGoldenResultsParallel and friends) enforces it.
+// (TestGoldenResultsParallel and friends) enforces it. cmd/sfvet's
+// decidepure pass proves the read-only contract statically: writes may
+// target only the shard scratch, the router's rr pointers and the probed
+// packet's idempotent fields.
+//
+//sf:hotpath
+//sf:decide
 func (s *Sim) decideRouter(r int32, rt *router, sh *shardState) {
 	cfg := &s.cfg
 	deg := len(rt.nbr)
@@ -375,7 +390,7 @@ func (s *Sim) decideRouter(r int32, rt *router, sh *shardState) {
 				idx = 0
 			}
 			if out >= deg {
-				sh.recs = append(sh.recs, grantRec{qi: int32(qi), out: int32(out)})
+				sh.recs = append(sh.recs, grantRec{qi: int32(qi), out: int32(out)}) //sf:allow(append: recs carries grantCap, the shard's per-cycle grant bound, from newParEngine)
 				granted++
 				continue
 			}
@@ -406,7 +421,7 @@ func (s *Sim) decideRouter(r int32, rt *router, sh *shardState) {
 			}
 			sh.credDelta[out*cfg.NumVCs+int(nextVC)]++
 			sh.stageDelta[out]++
-			sh.recs = append(sh.recs, grantRec{qi: int32(qi), out: int32(out), vc: nextVC})
+			sh.recs = append(sh.recs, grantRec{qi: int32(qi), out: int32(out), vc: nextVC}) //sf:allow(append: recs carries grantCap, the shard's per-cycle grant bound, from newParEngine)
 			granted++
 		}
 		rt.rr[out] = (rt.rr[out] + 1) % int32(ncand)
@@ -423,7 +438,7 @@ func (s *Sim) decideRouter(r int32, rt *router, sh *shardState) {
 		}
 	}
 	if nrec > 0 {
-		sh.hdr = append(sh.hdr, grantHdr{router: r, n: int32(nrec)})
+		sh.hdr = append(sh.hdr, grantHdr{router: r, n: int32(nrec)}) //sf:allow(append: hdr carries capacity hi-lo, one per shard router, from newParEngine)
 	}
 }
 
@@ -434,6 +449,8 @@ func (s *Sim) decideRouter(r int32, rt *router, sh *shardState) {
 // with grants in each router's decide order, it reproduces the serial
 // engine's state evolution bit for bit; the ReadyAt stamp regrows from
 // the replayed outStaged increments, matching the decide-phase deltas.
+//
+//sf:hotpath
 func (s *Sim) commitGrant(r int32, rt *router, rec grantRec) {
 	cfg := &s.cfg
 	deg := len(rt.nbr)

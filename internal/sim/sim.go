@@ -548,7 +548,7 @@ func (s *Sim) PortRNG(r int32) *stats.RNG { return &s.allocRNG[r] }
 func (s *Sim) touch(r int32) {
 	if !s.inActive[r] {
 		s.inActive[r] = true
-		s.active = append(s.active, r)
+		s.active = append(s.active, r) //sf:allow(append: capacity nRouters at construction; inActive dedups, so len never exceeds it)
 	}
 }
 
@@ -627,6 +627,14 @@ func (s *Sim) Run() Result {
 }
 
 // step advances the simulation by one cycle.
+//
+// step and everything it statically calls is the engine's zero-allocation
+// steady state: cmd/sfvet's hotalloc pass proves the absence of
+// allocating constructs at compile time (the //sf:allow annotations below
+// document the reviewed amortised exceptions), and TestStepZeroAlloc
+// re-confirms it at runtime on the real workload.
+//
+//sf:hotpath
 func (s *Sim) step(inject bool) {
 	if s.par != nil {
 		s.stepPhased(inject)
@@ -783,7 +791,7 @@ func (s *Sim) pruneActive() {
 	for _, r := range s.active {
 		rt := &s.routers[r]
 		if rt.flits > 0 || rt.staged > 0 {
-			kept = append(kept, r)
+			kept = append(kept, r) //sf:allow(append: kept reuses s.active's backing array and only ever shrinks it)
 		} else {
 			s.inActive[r] = false
 		}
@@ -793,7 +801,11 @@ func (s *Sim) pruneActive() {
 
 // badTargetPort reports a routing-contract violation: the algorithm
 // answered with a port that is not a network output of router r. The
-// panic names everything needed to reproduce the misroute.
+// panic names everything needed to reproduce the misroute. It is the
+// hot path's one formatting call, taken only to die -- //sf:coldpath
+// cuts hotalloc propagation here.
+//
+//sf:coldpath
 func (s *Sim) badTargetPort(r int32, p *Packet, port int32, deg int) {
 	panic(fmt.Sprintf(
 		"sim: algorithm %s returned invalid output port %d at router %d (degree %d): packet src=%d dst=%d dstRouter=%d interm=%d phase=%d hops=%d",
@@ -1012,7 +1024,7 @@ func (s *Sim) returnCredit(r int32, rt *router, q int) {
 	up := rt.nbr[port]
 	upPort := rt.revPort[port]
 	slot := int((s.cycle + int64(cfg.CreditDelay)) % int64(len(s.credWheel)))
-	s.credWheel[slot] = append(s.credWheel[slot], creditEvt{router: up, port: upPort, vc: vc})
+	s.credWheel[slot] = append(s.credWheel[slot], creditEvt{router: up, port: upPort, vc: vc}) //sf:allow(append: wheel slots carry capacity credCap, the per-cycle grant bound, from construction)
 }
 
 // deliver completes a packet's journey at router r (its ejection router).

@@ -57,6 +57,8 @@ func (r *RNG) Jump() {
 }
 
 // Uint64 returns the next 64 random bits.
+//
+//sf:hotpath
 func (r *RNG) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9
 	t := r.s[1] << 17
@@ -70,6 +72,8 @@ func (r *RNG) Uint64() uint64 {
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.
+//
+//sf:hotpath
 func (r *RNG) Intn(n int) int {
 	if n <= 0 {
 		panic("stats: Intn with non-positive n")
@@ -105,11 +109,15 @@ func mul64(a, b uint64) (hi, lo uint64) {
 }
 
 // Float64 returns a uniform float64 in [0, 1).
+//
+//sf:hotpath
 func (r *RNG) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
 // Bernoulli returns true with probability p.
+//
+//sf:hotpath
 func (r *RNG) Bernoulli(p float64) bool {
 	return r.Float64() < p
 }
